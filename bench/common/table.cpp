@@ -1,0 +1,133 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::bench {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string printf_fmt(const char* fmt, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, v);
+  return buffer;
+}
+}  // namespace
+
+std::string fmt_percent(double fraction, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df%%%%", decimals);
+  return printf_fmt(fmt, fraction * 100.0);
+}
+
+std::string fmt_percent_pm(double mean_fraction, double std_fraction) {
+  return fmt_percent(mean_fraction) + " (" + fmt_percent(std_fraction) + ")";
+}
+
+std::string fmt_hours(double seconds) {
+  return printf_fmt("%.2f", seconds / 3600.0);
+}
+
+std::string fmt_speedup(double ratio) { return printf_fmt("%.2fx", ratio); }
+
+std::string fmt_fixed(double value, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", decimals);
+  return printf_fmt(fmt, value);
+}
+
+std::string fmt_or_dash(const std::optional<double>& value,
+                        std::string (*fmt)(double)) {
+  return value ? fmt(*value) : std::string("-");
+}
+
+std::string render_ascii_series(const std::string& title,
+                                const std::vector<std::string>& labels,
+                                const std::vector<std::vector<double>>& series,
+                                std::size_t width) {
+  if (labels.size() != series.size()) {
+    throw std::invalid_argument("render_ascii_series: label/series mismatch");
+  }
+  std::ostringstream os;
+  os << title << '\n';
+  double lo = 0.0, hi = 1.0;
+  bool first = true;
+  for (const auto& s : series) {
+    for (double v : s) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (hi == lo) hi = lo + 1.0;
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << labels[i] << std::string(label_width - labels[i].size(), ' ')
+       << " |";
+    const auto& s = series[i];
+    for (std::size_t x = 0; x < width; ++x) {
+      if (s.empty()) {
+        os << ' ';
+        continue;
+      }
+      const std::size_t idx = std::min(
+          s.size() - 1, x * s.size() / width);
+      const double norm = (s[idx] - lo) / (hi - lo);
+      static constexpr const char* kShades = " .:-=+*#%@";
+      const int shade =
+          std::clamp(static_cast<int>(std::lround(norm * 9.0)), 0, 9);
+      os << kShades[shade];
+    }
+    os << "|  [" << fmt_fixed(s.empty() ? 0.0 : s.front(), 3) << " -> "
+       << fmt_fixed(s.empty() ? 0.0 : s.back(), 3) << "]\n";
+  }
+  os << "(scale: min " << fmt_fixed(lo, 3) << " = ' ', max " << fmt_fixed(hi, 3)
+     << " = '@')\n";
+  return os.str();
+}
+
+}  // namespace hp::bench

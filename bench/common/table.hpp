@@ -1,0 +1,46 @@
+#pragma once
+// Plain-text table and series rendering for the experiment benches, so the
+// binaries print rows directly comparable with the paper's tables.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hp::bench {
+
+/// Fixed-width text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with column-wise alignment and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34%" style percent formatting.
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 2);
+/// "1.23% (0.45%)" mean-and-std formatting, as in Table 2.
+[[nodiscard]] std::string fmt_percent_pm(double mean_fraction,
+                                         double std_fraction);
+/// Hours with two decimals ("2.14").
+[[nodiscard]] std::string fmt_hours(double seconds);
+/// "12.34x" speedup formatting.
+[[nodiscard]] std::string fmt_speedup(double ratio);
+/// Fixed-decimal formatting.
+[[nodiscard]] std::string fmt_fixed(double value, int decimals = 2);
+/// "-" when absent, as the paper prints failed runs.
+[[nodiscard]] std::string fmt_or_dash(const std::optional<double>& value,
+                                      std::string (*fmt)(double));
+
+/// Renders a numeric series as a coarse ASCII line chart (for the figure
+/// benches), one row per series with min/max annotations.
+[[nodiscard]] std::string render_ascii_series(
+    const std::string& title, const std::vector<std::string>& labels,
+    const std::vector<std::vector<double>>& series, std::size_t width = 60);
+
+}  // namespace hp::bench

@@ -1,0 +1,85 @@
+// Energy-aware model selection: combines the paper's power model (Eq. 1)
+// with the NeuralPower-style layer-wise runtime model (extension, paper
+// ref [10]) into an energy predictor, then ranks candidate architectures
+// by predicted energy-per-batch — the metric that matters for
+// battery-powered deployment — without training or even running any of
+// them.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/layerwise_models.hpp"
+#include "core/spaces.hpp"
+#include "hw/profiler.hpp"
+
+int main() {
+  using namespace hp;
+  std::printf("=== Energy-aware architecture selection on Tegra TX1 ===\n\n");
+
+  const core::BenchmarkProblem problem = core::cifar10_problem();
+  const hw::DeviceSpec device = hw::tegra_tx1();
+
+  // Offline: profile random architectures WITH per-layer timings.
+  hw::GpuSimulator simulator(device, 11);
+  hw::ProfilerOptions profiler_options;
+  profiler_options.collect_layer_timings = true;
+  hw::InferenceProfiler profiler(simulator, profiler_options);
+  stats::Rng rng(2018);
+  std::vector<nn::CnnSpec> specs;
+  while (specs.size() < 80) {
+    const auto config = problem.space().sample(rng);
+    const auto spec = problem.to_cnn_spec(config);
+    if (nn::is_feasible(spec)) specs.push_back(spec);
+  }
+  const auto samples = profiler.profile_all(specs);
+
+  // Fit the two models and compose the energy predictor.
+  auto [latency_model, latency_report] =
+      core::LayerwiseLatencyModel::train(samples);
+  const auto power = core::train_power_model(samples);
+  const core::EnergyPredictor energy(power.model, latency_model);
+  std::printf("power model RMSPE %.2f%%, network latency RMSPE %.2f%%\n\n",
+              power.cv.rmspe, latency_report.total_latency_rmspe);
+
+  // Online: rank fresh candidates by predicted energy, then check the
+  // top/bottom picks against the simulated ground truth.
+  struct Candidate {
+    core::Configuration config;
+    double predicted_mj;
+  };
+  std::vector<Candidate> candidates;
+  while (candidates.size() < 40) {
+    const auto config = problem.space().sample(rng);
+    const auto spec = problem.to_cnn_spec(config);
+    if (!nn::is_feasible(spec)) continue;
+    candidates.push_back({config, 1e3 * energy.predict_energy_j(spec)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.predicted_mj < b.predicted_mj;
+            });
+
+  std::printf("%-10s %-12s %-12s  architecture\n", "rank", "pred [mJ]",
+              "actual [mJ]");
+  const auto show = [&](std::size_t rank) {
+    const Candidate& c = candidates[rank];
+    const auto spec = problem.to_cnn_spec(c.config);
+    const auto measured = profiler.profile(spec);
+    std::printf("%-10zu %-12.1f %-12.1f  %s\n", rank + 1, c.predicted_mj,
+                1e3 * measured.energy_j(), spec.to_string().c_str());
+  };
+  show(0);
+  show(1);
+  show(candidates.size() / 2);
+  show(candidates.size() - 2);
+  show(candidates.size() - 1);
+
+  const double span =
+      candidates.back().predicted_mj / candidates.front().predicted_mj;
+  std::printf("\n=> a %.1fx energy spread across the design space, ranked "
+              "without training a single\n   network — the same a-priori "
+              "insight the paper exploits for power, extended to energy.\n",
+              span);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Deep dive into the paper's hardware models (Section 3.3): profile random
+// architectures through the NVML facade on several GPUs, fit the linear
+// predictors by 10-fold cross validation, inspect the learned per-parameter
+// weights, and use the models the way the acquisition function does —
+// predicting feasibility of unseen candidates in microseconds.
+
+#include <cstdio>
+
+#include "core/hw_models.hpp"
+#include "core/spaces.hpp"
+#include "hw/profiler.hpp"
+
+int main() {
+  using namespace hp;
+  std::printf("=== Power/memory model study ===\n\n");
+
+  const core::BenchmarkProblem problem = core::mnist_problem();
+
+  for (const hw::DeviceSpec& device :
+       {hw::gtx1070(), hw::gtx1080ti(), hw::tegra_tx1(), hw::jetson_nano()}) {
+    std::printf("---- %s ----\n", device.name.c_str());
+    hw::GpuSimulator simulator(device, 13);
+    hw::InferenceProfiler profiler(simulator);
+
+    // Offline random sampling of the structural design space.
+    stats::Rng rng(2018);
+    std::vector<nn::CnnSpec> specs;
+    while (specs.size() < 100) {
+      const auto config = problem.space().sample(rng);
+      const auto spec = problem.to_cnn_spec(config);
+      if (nn::is_feasible(spec)) specs.push_back(spec);
+    }
+    const auto samples = profiler.profile_all(specs);
+    std::printf("profiled %zu configs; power %.1f-%.1f W\n", samples.size(),
+                [&] {
+                  double lo = 1e18;
+                  for (const auto& s : samples) lo = std::min(lo, s.power_w);
+                  return lo;
+                }(),
+                [&] {
+                  double hi = 0.0;
+                  for (const auto& s : samples) hi = std::max(hi, s.power_w);
+                  return hi;
+                }());
+
+    const auto power = core::train_power_model(samples);
+    std::printf("power model: RMSPE %.2f%% (folds:", power.cv.rmspe);
+    for (double f : power.cv.fold_rmspe) std::printf(" %.1f", f);
+    std::printf(")\n");
+    // The learned weights w_j of P(z) = sum_j w_j z_j (+ bias): one per
+    // structural hyper-parameter, in space order.
+    std::printf("  learned weights: ");
+    std::size_t j = 0;
+    for (const auto& p : problem.space().parameters()) {
+      if (!p.structural) continue;
+      std::printf("%s=%.3f  ", p.name.c_str(), power.model.weights()[j++]);
+    }
+    std::printf("bias=%.1f\n", power.model.intercept());
+
+    if (const auto memory = core::train_memory_model(samples)) {
+      std::printf("memory model: RMSPE %.2f%%\n", memory->cv.rmspe);
+    } else {
+      std::printf("memory model: platform exposes no memory counter "
+                  "(paper footnote 1)\n");
+    }
+
+    // Use the model as the acquisition function does: instant feasibility
+    // screening of an unseen candidate.
+    const core::Configuration candidate{64, 5, 1, 600, 0.01, 0.9};
+    const auto z = problem.space().structural_vector(candidate);
+    const double predicted = power.model.predict(z);
+    const auto measured = profiler.profile(problem.to_cnn_spec(candidate));
+    std::printf("unseen candidate: predicted %.1f W, measured %.1f W "
+                "(error %.1f%%)\n\n",
+                predicted, measured.power_w,
+                100.0 * std::abs(predicted - measured.power_w) /
+                    measured.power_w);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "core/acquisition.hpp"
+
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace hp::core {
+
+HardwareConstraints::HardwareConstraints(
+    ConstraintBudgets budgets, std::optional<HardwareModel> power_model,
+    std::optional<HardwareModel> memory_model)
+    : budgets_(budgets),
+      power_model_(std::move(power_model)),
+      memory_model_(std::move(memory_model)) {}
+
+bool HardwareConstraints::predicted_feasible(std::span<const double> z) const {
+  if (budgets_.power_w && power_model_) {
+    if (power_model_->predict(z) > *budgets_.power_w) return false;
+  }
+  if (budgets_.memory_mb && memory_model_) {
+    if (memory_model_->predict(z) > *budgets_.memory_mb) return false;
+  }
+  return true;
+}
+
+double HardwareConstraints::feasibility_probability(
+    std::span<const double> z) const {
+  double prob = 1.0;
+  if (budgets_.power_w && power_model_) {
+    prob *= stats::probability_below(power_model_->predict(z),
+                                     power_model_->residual_sd(),
+                                     *budgets_.power_w);
+  }
+  if (budgets_.memory_mb && memory_model_) {
+    prob *= stats::probability_below(memory_model_->predict(z),
+                                     memory_model_->residual_sd(),
+                                     *budgets_.memory_mb);
+  }
+  return prob;
+}
+
+bool HardwareConstraints::measured_feasible(
+    std::optional<double> power_w, std::optional<double> memory_mb) const {
+  if (budgets_.power_w && power_w && *power_w > *budgets_.power_w) {
+    return false;
+  }
+  if (budgets_.memory_mb && memory_mb && *memory_mb > *budgets_.memory_mb) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Closed-form EI under the objective GP; 0 without a model (callers use a
+/// separate initial design, so this is defensive).
+double ei_term(const std::vector<double>& unit_x,
+               const AcquisitionContext& ctx) {
+  if (ctx.objective_gp == nullptr || !ctx.objective_gp->fitted()) return 0.0;
+  const gp::Prediction p = ctx.objective_gp->predict(linalg::Vector(unit_x));
+  return stats::expected_improvement(p.mean, p.stddev(), ctx.best_observed);
+}
+
+/// Probability that the measured-constraint GP predicts the metric within
+/// budget; 1.0 when the GP or the budget is absent.
+double gp_constraint_probability(const gp::GaussianProcess* gp_model,
+                                 std::optional<double> budget,
+                                 const std::vector<double>& unit_x) {
+  if (gp_model == nullptr || !gp_model->fitted() || !budget) return 1.0;
+  const gp::Prediction p = gp_model->predict(linalg::Vector(unit_x));
+  return stats::probability_below(p.mean, p.stddev(), *budget);
+}
+
+}  // namespace
+
+double ExpectedImprovementAcquisition::score(
+    const std::vector<double>& unit_x, const Configuration& config,
+    const AcquisitionContext& ctx) const {
+  (void)config;
+  return ei_term(unit_x, ctx);
+}
+
+double HwIeciAcquisition::score(const std::vector<double>& unit_x,
+                                const Configuration& config,
+                                const AcquisitionContext& ctx) const {
+  if (ctx.constraints != nullptr) {
+    // A-priori models: hard indicator, zero acquisition in violating
+    // regions (Eq. 3) — evaluated before the (costlier) EI term.
+    const std::vector<double> z = ctx.space.structural_vector(config);
+    if (!ctx.constraints->predicted_feasible(z)) return 0.0;
+  } else {
+    // Default (unknown constraints) mode: a hard indicator over the
+    // measured-metric GPs strands the search whenever every early sample
+    // violates (the GP mean is then above budget everywhere and nothing
+    // scores). Following the probabilistic replacement of the indicator
+    // the paper points to (Gramacy & Lee [17], supported by Spearmint),
+    // we gate EI by the *squared* satisfaction probability — sharper than
+    // HW-CWEI's linear weighting, approaching the indicator as the GPs
+    // become confident, while still providing a search gradient.
+    const double prob =
+        gp_constraint_probability(ctx.measured_power_gp, ctx.budgets.power_w,
+                                  unit_x) *
+        gp_constraint_probability(ctx.measured_memory_gp,
+                                  ctx.budgets.memory_mb, unit_x);
+    return prob * prob * ei_term(unit_x, ctx);
+  }
+  return ei_term(unit_x, ctx);
+}
+
+double HwCweiAcquisition::score(const std::vector<double>& unit_x,
+                                const Configuration& config,
+                                const AcquisitionContext& ctx) const {
+  double prob = 1.0;
+  if (ctx.constraints != nullptr) {
+    const std::vector<double> z = ctx.space.structural_vector(config);
+    prob = ctx.constraints->feasibility_probability(z);
+  } else {
+    prob = gp_constraint_probability(ctx.measured_power_gp,
+                                     ctx.budgets.power_w, unit_x) *
+           gp_constraint_probability(ctx.measured_memory_gp,
+                                     ctx.budgets.memory_mb, unit_x);
+  }
+  if (prob <= 0.0) return 0.0;
+  return prob * ei_term(unit_x, ctx);
+}
+
+}  // namespace hp::core

@@ -1,0 +1,78 @@
+#include "core/candidate_pool.hpp"
+
+#include <stdexcept>
+
+#include "stats/halton.hpp"
+
+namespace hp::core {
+
+CandidatePool::CandidatePool(const HyperParameterSpace& space,
+                             CandidatePoolOptions options)
+    : space_(space), options_(options) {
+  if (options_.lattice_points + options_.random_points == 0) {
+    throw std::invalid_argument("CandidatePool: empty pool");
+  }
+  if (options_.lattice_points > 0) {
+    stats::HaltonSequence halton(space_.dimension(), options_.lattice_seed);
+    lattice_ = halton.take(options_.lattice_points);
+  }
+}
+
+CandidatePool::Maximizer CandidatePool::maximize(
+    const AcquisitionFunction& acquisition, const AcquisitionContext& ctx,
+    stats::Rng& rng) const {
+  Maximizer best;
+  best.score = -1.0;
+  Maximizer fallback;  // highest feasibility probability among zero-scorers
+  double fallback_prob = -1.0;
+
+  const auto consider = [&](const std::vector<double>& unit) {
+    Configuration config = space_.decode(unit);
+    const double score = acquisition.score(unit, config, ctx);
+    ++best.evaluated;
+    if (score > best.score) {
+      best.score = score;
+      best.unit = unit;
+      best.config = std::move(config);
+      return;
+    }
+    if (best.score <= 0.0 && ctx.constraints != nullptr) {
+      // Track a constraint-respecting fallback in case nothing scores > 0.
+      const std::vector<double> z = ctx.space.structural_vector(config);
+      const double prob = ctx.constraints->feasibility_probability(z);
+      if (prob > fallback_prob) {
+        fallback_prob = prob;
+        fallback.unit = unit;
+        fallback.config = std::move(config);
+      }
+    }
+  };
+
+  for (const auto& unit : lattice_) consider(unit);
+  for (std::size_t i = 0; i < options_.random_points; ++i) {
+    std::vector<double> unit(space_.dimension());
+    for (double& u : unit) u = rng.uniform();
+    consider(unit);
+  }
+
+  if (best.score <= 0.0 && !fallback.unit.empty()) {
+    fallback.score = 0.0;
+    fallback.evaluated = best.evaluated;
+    return fallback;
+  }
+  if (best.score <= 0.0) {
+    // Every candidate scored zero and no constraint-based fallback exists
+    // (e.g. early default-mode iterations where the surrogate sees no
+    // improvement anywhere): explore with a fresh random point rather than
+    // deterministically re-proposing the first lattice point.
+    std::vector<double> unit(space_.dimension());
+    for (double& u : unit) u = rng.uniform();
+    best.unit = unit;
+    best.config = space_.decode(unit);
+    best.score = 0.0;
+    best.evaluated += 1;
+  }
+  return best;
+}
+
+}  // namespace hp::core

@@ -1,0 +1,57 @@
+#pragma once
+// Acquisition maximization over a candidate pool. Spearmint evaluates the
+// acquisition on a dense grid plus random points and picks the argmax; we
+// use a scrambled-Halton lattice (space-filling) plus uniform random
+// candidates, regenerated each iteration.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acquisition.hpp"
+#include "core/search_space.hpp"
+#include "stats/rng.hpp"
+
+namespace hp::core {
+
+/// Pool generation options.
+struct CandidatePoolOptions {
+  std::size_t lattice_points = 600;  ///< Halton lattice size
+  std::size_t random_points = 400;   ///< fresh uniform candidates per call
+  std::uint64_t lattice_seed = 99;
+};
+
+/// Generates candidate unit-cube points for acquisition maximization.
+class CandidatePool {
+ public:
+  CandidatePool(const HyperParameterSpace& space,
+                CandidatePoolOptions options = {});
+
+  /// The fixed lattice part (generated once).
+  [[nodiscard]] const std::vector<std::vector<double>>& lattice() const noexcept {
+    return lattice_;
+  }
+
+  /// Result of one acquisition maximization.
+  struct Maximizer {
+    std::vector<double> unit;
+    Configuration config;
+    double score = 0.0;
+    std::size_t evaluated = 0;  ///< candidates scored
+  };
+
+  /// Scores lattice + fresh random candidates under @p acquisition and
+  /// returns the best. If every candidate scores zero (e.g. the entire
+  /// pool is predicted-infeasible under HW-IECI), returns the
+  /// highest-feasibility random candidate instead, so the optimizer always
+  /// has a next point.
+  [[nodiscard]] Maximizer maximize(const AcquisitionFunction& acquisition,
+                                   const AcquisitionContext& ctx,
+                                   stats::Rng& rng) const;
+
+ private:
+  const HyperParameterSpace& space_;
+  CandidatePoolOptions options_;
+  std::vector<std::vector<double>> lattice_;
+};
+
+}  // namespace hp::core

@@ -1,0 +1,45 @@
+#pragma once
+// Early termination of diverging candidates (Section 3.2): "candidate
+// architectures that diverge during training can be quickly identified only
+// after a few training epochs". The rule deliberately identifies
+// *diverging* cases rather than predicting final error for converging ones
+// (which would risk the overestimation artifacts of learning-curve
+// extrapolation the paper cautions about).
+
+#include <cstddef>
+
+namespace hp::core {
+
+/// Decision rule applied to the per-epoch test error of a training run.
+class EarlyTerminationRule {
+ public:
+  /// @param check_after_epochs number of epochs to observe before the rule
+  ///        activates (the "few training epochs" of the paper).
+  /// @param chance_error the error of random guessing (0.9 for 10 classes).
+  /// @param margin how far below chance the error must have moved for the
+  ///        candidate to be considered converging (fraction of chance).
+  explicit EarlyTerminationRule(std::size_t check_after_epochs = 2,
+                                double chance_error = 0.9,
+                                double margin = 0.05);
+
+  /// Returns true if training should STOP: the run has seen at least
+  /// check_after_epochs epochs and the test error is still at chance level
+  /// (not more than margin*chance below it), i.e. the candidate shows no
+  /// sign of convergence. Divergence (non-finite loss) is handled by the
+  /// trainer itself and always stops.
+  [[nodiscard]] bool should_terminate(std::size_t epochs_done,
+                                      double current_test_error) const;
+
+  [[nodiscard]] std::size_t check_after_epochs() const noexcept {
+    return check_after_epochs_;
+  }
+  [[nodiscard]] double chance_error() const noexcept { return chance_error_; }
+  [[nodiscard]] double convergence_threshold() const noexcept;
+
+ private:
+  std::size_t check_after_epochs_;
+  double chance_error_;
+  double margin_;
+};
+
+}  // namespace hp::core

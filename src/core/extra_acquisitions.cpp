@@ -1,0 +1,79 @@
+#include "core/extra_acquisitions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace hp::core {
+
+namespace {
+
+/// Shared constraint gate: hard indicator via a-priori models when
+/// present, squared satisfaction probability over measured-metric GPs in
+/// default mode (matching HW-IECI's treatment). Returns the multiplicative
+/// weight in [0, 1].
+double constraint_gate(const std::vector<double>& unit_x,
+                       const Configuration& config,
+                       const AcquisitionContext& ctx) {
+  if (ctx.constraints != nullptr) {
+    const std::vector<double> z = ctx.space.structural_vector(config);
+    return ctx.constraints->predicted_feasible(z) ? 1.0 : 0.0;
+  }
+  double prob = 1.0;
+  if (ctx.measured_power_gp != nullptr && ctx.measured_power_gp->fitted() &&
+      ctx.budgets.power_w) {
+    const gp::Prediction p =
+        ctx.measured_power_gp->predict(linalg::Vector(unit_x));
+    prob *= stats::probability_below(p.mean, p.stddev(), *ctx.budgets.power_w);
+  }
+  if (ctx.measured_memory_gp != nullptr && ctx.measured_memory_gp->fitted() &&
+      ctx.budgets.memory_mb) {
+    const gp::Prediction p =
+        ctx.measured_memory_gp->predict(linalg::Vector(unit_x));
+    prob *=
+        stats::probability_below(p.mean, p.stddev(), *ctx.budgets.memory_mb);
+  }
+  return prob * prob;
+}
+
+}  // namespace
+
+HwPiAcquisition::HwPiAcquisition(double xi) : xi_(xi) {
+  if (xi < 0.0) {
+    throw std::invalid_argument("HwPiAcquisition: xi must be >= 0");
+  }
+}
+
+double HwPiAcquisition::score(const std::vector<double>& unit_x,
+                              const Configuration& config,
+                              const AcquisitionContext& ctx) const {
+  const double gate = constraint_gate(unit_x, config, ctx);
+  if (gate <= 0.0) return 0.0;
+  if (ctx.objective_gp == nullptr || !ctx.objective_gp->fitted()) return 0.0;
+  const gp::Prediction p = ctx.objective_gp->predict(linalg::Vector(unit_x));
+  const double pi = stats::probability_below(p.mean, p.stddev(),
+                                             ctx.best_observed - xi_);
+  return gate * pi;
+}
+
+HwLcbAcquisition::HwLcbAcquisition(double kappa) : kappa_(kappa) {
+  if (kappa < 0.0) {
+    throw std::invalid_argument("HwLcbAcquisition: kappa must be >= 0");
+  }
+}
+
+double HwLcbAcquisition::score(const std::vector<double>& unit_x,
+                               const Configuration& config,
+                               const AcquisitionContext& ctx) const {
+  const double gate = constraint_gate(unit_x, config, ctx);
+  if (gate <= 0.0) return 0.0;
+  if (ctx.objective_gp == nullptr || !ctx.objective_gp->fitted()) return 0.0;
+  const gp::Prediction p = ctx.objective_gp->predict(linalg::Vector(unit_x));
+  const double bound = p.mean - kappa_ * p.stddev();
+  // Positive when the optimistic bound improves on the incumbent; zero
+  // otherwise (keeps "zero means never pick" semantics for gating).
+  return gate * std::max(0.0, ctx.best_observed - bound);
+}
+
+}  // namespace hp::core

@@ -1,0 +1,48 @@
+#pragma once
+// Additional acquisition functions beyond the paper's EI-based ones —
+// "we leave the systematic exploration of other acquisition functions for
+// future work" (Section 3.4). Probability of Improvement and GP Lower
+// Confidence Bound, each with the same hardware-constraint treatment as
+// HW-IECI (hard indicator through the a-priori models; probabilistic gate
+// over measured-metric GPs in default mode).
+
+#include "core/acquisition.hpp"
+
+namespace hp::core {
+
+/// Probability of Improvement: P(Y < best - xi) under the objective GP,
+/// gated by the hardware constraints (HW-PI).
+class HwPiAcquisition final : public AcquisitionFunction {
+ public:
+  /// @param xi improvement margin (fraction of error); small positive
+  ///        values avoid pure exploitation.
+  explicit HwPiAcquisition(double xi = 0.01);
+
+  [[nodiscard]] double score(const std::vector<double>& unit_x,
+                             const Configuration& config,
+                             const AcquisitionContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "HW-PI"; }
+
+ private:
+  double xi_;
+};
+
+/// Negative Lower Confidence Bound: -(mu - kappa * sigma), so that the
+/// maximizer is the most promising-or-uncertain point (HW-LCB). Scores are
+/// shifted to be positive where the bound beats the incumbent so the
+/// constraint gating semantics (zero = never pick) stay meaningful.
+class HwLcbAcquisition final : public AcquisitionFunction {
+ public:
+  /// @param kappa exploration weight (>= 0).
+  explicit HwLcbAcquisition(double kappa = 2.0);
+
+  [[nodiscard]] double score(const std::vector<double>& unit_x,
+                             const Configuration& config,
+                             const AcquisitionContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "HW-LCB"; }
+
+ private:
+  double kappa_;
+};
+
+}  // namespace hp::core

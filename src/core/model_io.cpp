@@ -1,0 +1,85 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::core {
+
+namespace {
+constexpr const char* kMagic = "hyperpower-model";
+constexpr const char* kVersion = "v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("hardware model io: " + what);
+}
+}  // namespace
+
+void save_hardware_model(const HardwareModel& model, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "form "
+     << (model.form() == ModelForm::Linear ? "linear" : "quadratic") << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "intercept " << model.intercept() << '\n';
+  os << "residual_sd " << model.residual_sd() << '\n';
+  os << "weights " << model.weights().size();
+  for (std::size_t i = 0; i < model.weights().size(); ++i) {
+    os << ' ' << model.weights()[i];
+  }
+  os << '\n';
+  if (!os) fail("write failed");
+}
+
+HardwareModel load_hardware_model(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version)) fail("empty stream");
+  if (magic != kMagic) fail("bad magic '" + magic + "'");
+  if (version != kVersion) fail("unsupported version '" + version + "'");
+
+  std::string key, form_name;
+  if (!(is >> key >> form_name) || key != "form") fail("expected 'form'");
+  ModelForm form;
+  if (form_name == "linear") {
+    form = ModelForm::Linear;
+  } else if (form_name == "quadratic") {
+    form = ModelForm::Quadratic;
+  } else {
+    fail("unknown form '" + form_name + "'");
+  }
+
+  double intercept = 0.0;
+  if (!(is >> key >> intercept) || key != "intercept") {
+    fail("expected 'intercept'");
+  }
+  double residual_sd = 0.0;
+  if (!(is >> key >> residual_sd) || key != "residual_sd") {
+    fail("expected 'residual_sd'");
+  }
+  if (residual_sd < 0.0) fail("negative residual_sd");
+
+  std::size_t count = 0;
+  if (!(is >> key >> count) || key != "weights") fail("expected 'weights'");
+  if (count == 0 || count > 1000000) fail("implausible weight count");
+  linalg::Vector weights(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(is >> weights[i])) fail("truncated weight list");
+  }
+  return HardwareModel(form, std::move(weights), intercept, residual_sd);
+}
+
+void save_hardware_model_file(const HardwareModel& model,
+                              const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open '" + path + "' for writing");
+  save_hardware_model(model, os);
+}
+
+HardwareModel load_hardware_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open '" + path + "' for reading");
+  return load_hardware_model(is);
+}
+
+}  // namespace hp::core

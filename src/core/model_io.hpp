@@ -1,0 +1,34 @@
+#pragma once
+// Persistence for trained hardware models, so the offline profiling phase
+// (expensive on real hardware) can run once and its models be reused
+// across optimization sessions. Plain-text line format, dependency-free:
+//
+//   hyperpower-model v1
+//   form linear
+//   intercept 34.5
+//   residual_sd 2.1
+//   weights 4 0.32 2.24 0.0 0.024
+//
+// Round-trips exactly (values are written with max_digits10 precision).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/hw_models.hpp"
+
+namespace hp::core {
+
+/// Writes @p model to @p os. Throws std::runtime_error on stream failure.
+void save_hardware_model(const HardwareModel& model, std::ostream& os);
+
+/// Reads a model written by save_hardware_model. Throws std::runtime_error
+/// on malformed input (wrong magic/version, bad counts, negative sd).
+[[nodiscard]] HardwareModel load_hardware_model(std::istream& is);
+
+/// File convenience wrappers; throw std::runtime_error if the file cannot
+/// be opened.
+void save_hardware_model_file(const HardwareModel& model,
+                              const std::string& path);
+[[nodiscard]] HardwareModel load_hardware_model_file(const std::string& path);
+
+}  // namespace hp::core

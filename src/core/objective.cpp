@@ -1,0 +1,19 @@
+#include "core/objective.hpp"
+
+namespace hp::core {
+
+std::string to_string(EvaluationStatus status) {
+  switch (status) {
+    case EvaluationStatus::Completed:
+      return "completed";
+    case EvaluationStatus::EarlyTerminated:
+      return "early_terminated";
+    case EvaluationStatus::ModelFiltered:
+      return "model_filtered";
+    case EvaluationStatus::InfeasibleArchitecture:
+      return "infeasible_architecture";
+  }
+  return "unknown";
+}
+
+}  // namespace hp::core

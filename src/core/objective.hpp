@@ -1,0 +1,84 @@
+#pragma once
+// The objective-function interface of the optimization loop, and the record
+// type every method produces per queried sample. Evaluating the objective
+// = generating + training + testing one candidate NN (step 2 of the BO
+// iteration, "the most expensive step"), followed by measuring inference
+// power/memory on the target platform.
+
+#include <optional>
+#include <string>
+
+#include "core/clock.hpp"
+#include "core/early_termination.hpp"
+#include "core/search_space.hpp"
+
+namespace hp::core {
+
+/// How an evaluation ended.
+enum class EvaluationStatus {
+  /// Trained to completion; test error is the real final error.
+  Completed,
+  /// Aborted after a few epochs by the early-termination rule (diverging
+  /// candidate); test error is the chance-level error at abort time.
+  EarlyTerminated,
+  /// Never evaluated: the a-priori power/memory models predicted a budget
+  /// violation, so the candidate was discarded before training
+  /// (HyperPower enhancement; only the cheap model evaluation was paid).
+  ModelFiltered,
+  /// Network generation failed (spatial dimensions collapsed); the
+  /// framework only paid the generation attempt.
+  InfeasibleArchitecture,
+};
+
+[[nodiscard]] std::string to_string(EvaluationStatus status);
+
+/// One queried sample with everything the experiment tables need.
+struct EvaluationRecord {
+  Configuration config;
+  EvaluationStatus status = EvaluationStatus::Completed;
+  /// Final test error in [0,1]; 1.0 (or chance level) for non-completed.
+  double test_error = 1.0;
+  bool diverged = false;
+  /// Power measured during inference on the target platform (absent for
+  /// samples that never reached measurement).
+  std::optional<double> measured_power_w;
+  /// Measured memory; also absent on platforms without the counter.
+  std::optional<double> measured_memory_mb;
+  /// True if the *measured* values violate the active budgets (set by the
+  /// optimizer; ModelFiltered samples count as violating by prediction).
+  bool violates_constraints = false;
+  /// Clock cost of handling this sample (training + profiling + overhead).
+  double cost_s = 0.0;
+  /// Clock timestamp when the sample finished (filled by the optimizer).
+  double timestamp_s = 0.0;
+  /// 0-based sample index within the run (filled by the optimizer).
+  std::size_t index = 0;
+
+  /// A sample counts toward the incumbent only if it completed training and
+  /// satisfies the (measured) constraints.
+  [[nodiscard]] bool counts_for_best() const noexcept {
+    return status == EvaluationStatus::Completed && !diverged &&
+           !violates_constraints;
+  }
+};
+
+/// The expensive black-box function f(x): train the candidate and measure
+/// its hardware characteristics. Implementations advance their Clock by
+/// the (virtual or real) duration of the work.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Fully evaluates @p config. If @p early_termination is non-null, the
+  /// implementation applies the rule after each training epoch and may
+  /// return EarlyTerminated. Fills test_error, diverged, measured power /
+  /// memory and cost_s; other fields are the optimizer's responsibility.
+  [[nodiscard]] virtual EvaluationRecord evaluate(
+      const Configuration& config,
+      const EarlyTerminationRule* early_termination) = 0;
+
+  /// The clock this objective charges its costs to.
+  [[nodiscard]] virtual Clock& clock() = 0;
+};
+
+}  // namespace hp::core

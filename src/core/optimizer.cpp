@@ -1,0 +1,91 @@
+#include "core/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace hp::core {
+
+Optimizer::Optimizer(const HyperParameterSpace& space, Objective& objective,
+                     ConstraintBudgets budgets,
+                     const HardwareConstraints* apriori_constraints,
+                     OptimizerOptions options)
+    : space_(space),
+      objective_(objective),
+      budgets_(budgets),
+      apriori_constraints_(apriori_constraints),
+      options_(options) {
+  if (options_.max_samples == 0) {
+    throw std::invalid_argument("Optimizer: max_samples must be > 0");
+  }
+}
+
+const HardwareConstraints* Optimizer::active_constraints() const noexcept {
+  return options_.use_hardware_models ? apriori_constraints_ : nullptr;
+}
+
+Optimizer::Result Optimizer::run() {
+  stats::Rng rng(options_.seed);
+  Result result;
+  Clock& clock = objective_.clock();
+  std::size_t function_evaluations = 0;
+
+  for (std::size_t sample = 0; sample < options_.max_samples; ++sample) {
+    if (function_evaluations >= options_.max_function_evaluations) break;
+    if (clock.now_s() >= options_.max_runtime_s) break;
+
+    clock.advance(proposal_overhead_s());
+    Configuration config = propose(rng);
+
+    EvaluationRecord record;
+    const HardwareConstraints* constraints =
+        options_.filter_before_training ? active_constraints() : nullptr;
+    bool filtered = false;
+    if (constraints != nullptr) {
+      const std::vector<double> z = space_.structural_vector(config);
+      if (!constraints->predicted_feasible(z)) {
+        record.config = config;
+        record.status = EvaluationStatus::ModelFiltered;
+        record.test_error = 1.0;
+        record.violates_constraints = true;  // violating *by prediction*
+        record.cost_s = options_.model_filter_overhead_s;
+        clock.advance(record.cost_s);
+        filtered = true;
+      }
+    }
+
+    if (!filtered) {
+      const EarlyTerminationRule* rule =
+          options_.use_early_termination ? &options_.early_termination
+                                         : nullptr;
+      record = objective_.evaluate(config, rule);
+      record.config = std::move(config);
+      // Classify against the *measured* metrics (both modes measure after
+      // training; the default mode just could not avoid the cost).
+      if (record.status == EvaluationStatus::Completed ||
+          record.status == EvaluationStatus::EarlyTerminated) {
+        ++function_evaluations;
+        if (apriori_constraints_ != nullptr) {
+          record.violates_constraints = !apriori_constraints_->measured_feasible(
+              record.measured_power_w, record.measured_memory_mb);
+        } else {
+          HardwareConstraints plain(budgets_, std::nullopt, std::nullopt);
+          record.violates_constraints = !plain.measured_feasible(
+              record.measured_power_w, record.measured_memory_mb);
+        }
+      }
+    }
+
+    record.index = result.trace.size();
+    record.timestamp_s = clock.now_s();
+    if (record.counts_for_best() &&
+        (!incumbent_ || record.test_error < incumbent_->test_error)) {
+      incumbent_ = record;
+    }
+    observe(record);
+    result.trace.add(std::move(record));
+  }
+
+  result.best = incumbent_;
+  return result;
+}
+
+}  // namespace hp::core

@@ -1,0 +1,124 @@
+#pragma once
+// Base optimizer: the sample-query loop shared by all four methods (Rand,
+// Rand-Walk, HW-CWEI, HW-IECI), including the two HyperPower enhancements
+// that can be switched off to obtain the paper's "default" (exhaustive,
+// constraint-unaware) counterparts:
+//   1. a-priori constraint filtering through the predictive models, and
+//   2. early termination of diverging candidates.
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/acquisition.hpp"
+#include "core/objective.hpp"
+#include "core/run_trace.hpp"
+#include "core/search_space.hpp"
+#include "stats/rng.hpp"
+
+namespace hp::core {
+
+/// Shared optimizer options.
+struct OptimizerOptions {
+  /// Fixed-evaluations mode: stop after this many *function evaluations*
+  /// (actual trainings; model-filtered samples do not count).
+  std::size_t max_function_evaluations =
+      std::numeric_limits<std::size_t>::max();
+  /// Time-budget mode: stop querying new samples once the clock passes
+  /// this; the in-flight sample is allowed to complete (as in the paper's
+  /// wall-clock experiments).
+  double max_runtime_s = std::numeric_limits<double>::infinity();
+  std::uint64_t seed = 1;
+
+  /// HyperPower enhancement 1: discard candidates the power/memory models
+  /// predict to violate the budgets, before training.
+  bool use_hardware_models = true;
+  /// When false, predicted-violating candidates are still trained (and
+  /// counted as measured violations) while BO acquisitions keep using the
+  /// a-priori models — the regime of the paper's fixed-evaluations
+  /// comparison (Figure 4), where every method pays for its own samples.
+  bool filter_before_training = true;
+  /// HyperPower enhancement 2: abort diverging candidates after a few
+  /// epochs.
+  bool use_early_termination = true;
+  EarlyTerminationRule early_termination{};
+
+  /// Cost charged for generating + model-checking a filtered candidate
+  /// (network prototxt generation plus two dot products, in seconds).
+  double model_filter_overhead_s = 3.0;
+  /// Cost charged when network generation fails outright.
+  double infeasible_arch_overhead_s = 5.0;
+  /// Safety cap on total queried samples per run.
+  std::size_t max_samples = 200000;
+};
+
+/// Abstract sequential optimizer.
+class Optimizer {
+ public:
+  /// @param space the hyper-parameter space.
+  /// @param objective the expensive evaluation (training + measurement).
+  /// @param budgets the active power/memory budgets (may be empty).
+  /// @param apriori_constraints predictive models + budgets; pass nullptr
+  ///        to run without a-priori models (the models are also ignored
+  ///        when options.use_hardware_models is false).
+  Optimizer(const HyperParameterSpace& space, Objective& objective,
+            ConstraintBudgets budgets,
+            const HardwareConstraints* apriori_constraints,
+            OptimizerOptions options);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Outcome of a run.
+  struct Result {
+    RunTrace trace;
+    std::optional<EvaluationRecord> best;
+  };
+
+  /// Executes the full optimization loop.
+  [[nodiscard]] Result run();
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Proposes the next candidate configuration.
+  [[nodiscard]] virtual Configuration propose(stats::Rng& rng) = 0;
+
+  /// Called after every recorded sample (of any status). Model-based
+  /// methods update their surrogates here.
+  virtual void observe(const EvaluationRecord& record) { (void)record; }
+
+  /// Per-proposal bookkeeping cost charged to the clock, in seconds.
+  /// Model-based methods override this with their (growing) fit cost.
+  [[nodiscard]] virtual double proposal_overhead_s() const { return 0.5; }
+
+  [[nodiscard]] const HyperParameterSpace& space() const noexcept {
+    return space_;
+  }
+  [[nodiscard]] const OptimizerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const ConstraintBudgets& budgets() const noexcept {
+    return budgets_;
+  }
+  /// The a-priori constraints if present AND enabled, else nullptr.
+  [[nodiscard]] const HardwareConstraints* active_constraints() const noexcept;
+  /// Best feasible record observed so far (shared with subclasses so
+  /// Rand-Walk can center proposals on the incumbent).
+  [[nodiscard]] const std::optional<EvaluationRecord>& incumbent()
+      const noexcept {
+    return incumbent_;
+  }
+
+ private:
+  const HyperParameterSpace& space_;
+  Objective& objective_;
+  ConstraintBudgets budgets_;
+  const HardwareConstraints* apriori_constraints_;
+  OptimizerOptions options_;
+  std::optional<EvaluationRecord> incumbent_;
+};
+
+}  // namespace hp::core

@@ -1,0 +1,98 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b,
+               const ParetoObjectives& objectives) {
+  bool no_worse = true;
+  bool strictly_better = false;
+  const auto check = [&](double va, double vb) {
+    if (va > vb) no_worse = false;
+    if (va < vb) strictly_better = true;
+  };
+  if (objectives.error) check(a.test_error, b.test_error);
+  if (objectives.power) check(a.power_w, b.power_w);
+  if (objectives.memory) check(a.memory_mb, b.memory_mb);
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(const RunTrace& trace,
+                                      const ParetoObjectives& objectives) {
+  if (!objectives.error && !objectives.power && !objectives.memory) {
+    throw std::invalid_argument("pareto_front: no objectives enabled");
+  }
+  std::vector<ParetoPoint> candidates;
+  for (const EvaluationRecord& r : trace.records()) {
+    if (r.status != EvaluationStatus::Completed || r.diverged) continue;
+    if (objectives.power && !r.measured_power_w) continue;
+    if (objectives.memory && !r.measured_memory_mb) continue;
+    ParetoPoint p;
+    p.test_error = r.test_error;
+    p.power_w = r.measured_power_w.value_or(0.0);
+    p.memory_mb = r.measured_memory_mb.value_or(0.0);
+    p.trace_index = r.index;
+    p.config = r.config;
+    candidates.push_back(std::move(p));
+  }
+
+  std::vector<ParetoPoint> front;
+  for (const ParetoPoint& p : candidates) {
+    bool dominated = false;
+    for (const ParetoPoint& q : candidates) {
+      if (dominates(q, p, objectives)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.power_w != b.power_w) return a.power_w < b.power_w;
+              return a.test_error < b.test_error;
+            });
+  // Drop duplicate objective vectors (identical configs re-evaluated).
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const ParetoPoint& a, const ParetoPoint& b) {
+                            return a.power_w == b.power_w &&
+                                   a.test_error == b.test_error &&
+                                   a.memory_mb == b.memory_mb;
+                          }),
+              front.end());
+  return front;
+}
+
+double pareto_hypervolume_2d(const std::vector<ParetoPoint>& front,
+                             double reference_error,
+                             double reference_power_w) {
+  // Front must be sorted by ascending power (as pareto_front returns);
+  // sweep from low power, accumulating rectangles against the reference.
+  double area = 0.0;
+  double prev_power = 0.0;
+  bool first = true;
+  double best_error_so_far = reference_error;
+  for (const ParetoPoint& p : front) {
+    if (p.power_w > reference_power_w || p.test_error > reference_error) {
+      continue;  // outside the reference box
+    }
+    if (first) {
+      prev_power = p.power_w;
+      best_error_so_far = p.test_error;
+      first = false;
+      continue;
+    }
+    area += (p.power_w - prev_power) * (reference_error - best_error_so_far);
+    prev_power = p.power_w;
+    best_error_so_far = std::min(best_error_so_far, p.test_error);
+  }
+  if (!first) {
+    area += (reference_power_w - prev_power) *
+            (reference_error - best_error_so_far);
+  }
+  return area;
+}
+
+}  // namespace hp::core

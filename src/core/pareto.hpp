@@ -1,0 +1,48 @@
+#pragma once
+// Error/power(/memory) Pareto-front extraction from run traces. The paper
+// positions HyperPower's models as pluggable into "generic formulations
+// that support constrained multi-objective optimization" [14]; this module
+// provides the multi-objective view of any finished run: the set of
+// trained samples not dominated in (test error, power [, memory]).
+
+#include <vector>
+
+#include "core/run_trace.hpp"
+
+namespace hp::core {
+
+/// One non-dominated sample.
+struct ParetoPoint {
+  double test_error = 1.0;
+  double power_w = 0.0;
+  double memory_mb = 0.0;  ///< 0 when the platform reports no memory
+  std::size_t trace_index = 0;
+  Configuration config;
+};
+
+/// Which objectives participate in the dominance check.
+struct ParetoObjectives {
+  bool error = true;
+  bool power = true;
+  bool memory = false;
+};
+
+/// True if a dominates b: no worse in every enabled objective and strictly
+/// better in at least one (all objectives minimized).
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b,
+                             const ParetoObjectives& objectives);
+
+/// Extracts the non-dominated set of *completed, converged* samples from a
+/// trace, sorted by ascending power. Samples lacking a measurement for an
+/// enabled objective are skipped.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    const RunTrace& trace, const ParetoObjectives& objectives = {});
+
+/// Hypervolume (area) dominated by the front in 2-D (error, power), with
+/// respect to @p reference (worst corner). Larger = better front. Only
+/// valid for error+power objectives.
+[[nodiscard]] double pareto_hypervolume_2d(
+    const std::vector<ParetoPoint>& front, double reference_error,
+    double reference_power_w);
+
+}  // namespace hp::core

@@ -1,0 +1,3 @@
+#include "core/random_search.hpp"
+
+// Header-only behaviour; this TU anchors the type for the library.

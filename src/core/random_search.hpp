@@ -1,0 +1,23 @@
+#pragma once
+// Rand (Section 3.5): uniform random search [Bergstra & Bengio 2012], with
+// the HyperPower enhancements applied by the base-class loop when enabled.
+
+#include "core/optimizer.hpp"
+
+namespace hp::core {
+
+/// Uniform random candidate selection.
+class RandomSearchOptimizer final : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+
+  [[nodiscard]] std::string name() const override { return "Rand"; }
+
+ protected:
+  [[nodiscard]] Configuration propose(stats::Rng& rng) override {
+    return space().sample(rng);
+  }
+  [[nodiscard]] double proposal_overhead_s() const override { return 0.5; }
+};
+
+}  // namespace hp::core

@@ -1,0 +1,39 @@
+#pragma once
+// Rand-Walk (Section 3.5): the next point is drawn from a Gaussian
+// neighbourhood of the incumbent, x_{n+1} ~ N(x+, sigma_0^2), trading
+// exploration for exploitation [Smithson et al. 2016]. The paper highlights
+// that performance is sensitive to the choice of sigma_0 — exposed here as
+// an option (and swept by the ablation bench).
+
+#include "core/optimizer.hpp"
+
+namespace hp::core {
+
+/// Random-walk options.
+struct RandomWalkOptions {
+  /// Proposal spread in unit-cube coordinates.
+  double sigma0 = 0.1;
+  /// Until a first incumbent exists, fall back to uniform sampling.
+  bool uniform_until_incumbent = true;
+};
+
+/// Gaussian random walk around the best point observed so far.
+class RandomWalkOptimizer final : public Optimizer {
+ public:
+  RandomWalkOptimizer(const HyperParameterSpace& space, Objective& objective,
+                      ConstraintBudgets budgets,
+                      const HardwareConstraints* apriori_constraints,
+                      OptimizerOptions options,
+                      RandomWalkOptions walk_options = {});
+
+  [[nodiscard]] std::string name() const override { return "Rand-Walk"; }
+
+ protected:
+  [[nodiscard]] Configuration propose(stats::Rng& rng) override;
+  [[nodiscard]] double proposal_overhead_s() const override { return 0.5; }
+
+ private:
+  RandomWalkOptions walk_options_;
+};
+
+}  // namespace hp::core

@@ -1,0 +1,167 @@
+#include "core/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::core {
+
+void ParameterDef::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("ParameterDef: empty name");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("ParameterDef '" + name + "': need lo < hi");
+  }
+  if (kind == ParameterKind::LogContinuous && lo <= 0.0) {
+    throw std::invalid_argument("ParameterDef '" + name +
+                                "': log scale needs lo > 0");
+  }
+  if (kind == ParameterKind::Integer &&
+      (std::floor(lo) != lo || std::floor(hi) != hi)) {
+    throw std::invalid_argument("ParameterDef '" + name +
+                                "': integer bounds must be integral");
+  }
+}
+
+HyperParameterSpace::HyperParameterSpace(std::vector<ParameterDef> parameters)
+    : parameters_(std::move(parameters)) {
+  if (parameters_.empty()) {
+    throw std::invalid_argument("HyperParameterSpace: empty parameter list");
+  }
+  for (const ParameterDef& p : parameters_) {
+    p.validate();
+    if (p.structural) ++structural_count_;
+  }
+}
+
+std::optional<std::size_t> HyperParameterSpace::index_of(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    if (parameters_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> HyperParameterSpace::structural_vector(
+    const Configuration& config) const {
+  validate(config);
+  std::vector<double> z;
+  z.reserve(structural_count_);
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    if (parameters_[i].structural) z.push_back(config[i]);
+  }
+  return z;
+}
+
+Configuration HyperParameterSpace::decode(
+    const std::vector<double>& unit) const {
+  if (unit.size() != parameters_.size()) {
+    throw std::invalid_argument("HyperParameterSpace::decode: size mismatch");
+  }
+  Configuration config(parameters_.size());
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    const ParameterDef& p = parameters_[i];
+    const double u = std::clamp(unit[i], 0.0, 1.0);
+    switch (p.kind) {
+      case ParameterKind::Integer: {
+        // Cell mapping: [0,1) divided evenly among the integer values.
+        const double span = p.hi - p.lo + 1.0;
+        double v = p.lo + std::floor(u * span);
+        config[i] = std::min(v, p.hi);
+        break;
+      }
+      case ParameterKind::Continuous:
+        config[i] = std::clamp(p.lo + u * (p.hi - p.lo), p.lo, p.hi);
+        break;
+      case ParameterKind::LogContinuous:
+        // clamp guards the 1-ulp overshoot of exp(log(hi)) at u == 1.
+        config[i] = std::clamp(std::exp(std::log(p.lo) +
+                                        u * (std::log(p.hi) - std::log(p.lo))),
+                               p.lo, p.hi);
+        break;
+    }
+  }
+  return config;
+}
+
+std::vector<double> HyperParameterSpace::encode(
+    const Configuration& config) const {
+  validate(config);
+  std::vector<double> unit(parameters_.size());
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    const ParameterDef& p = parameters_[i];
+    switch (p.kind) {
+      case ParameterKind::Integer: {
+        const double span = p.hi - p.lo + 1.0;
+        unit[i] = (config[i] - p.lo + 0.5) / span;  // cell center
+        break;
+      }
+      case ParameterKind::Continuous:
+        unit[i] = (config[i] - p.lo) / (p.hi - p.lo);
+        break;
+      case ParameterKind::LogContinuous:
+        unit[i] = (std::log(config[i]) - std::log(p.lo)) /
+                  (std::log(p.hi) - std::log(p.lo));
+        break;
+    }
+    unit[i] = std::clamp(unit[i], 0.0, 1.0);
+  }
+  return unit;
+}
+
+Configuration HyperParameterSpace::sample(stats::Rng& rng) const {
+  std::vector<double> unit(parameters_.size());
+  for (double& u : unit) u = rng.uniform();
+  return decode(unit);
+}
+
+Configuration HyperParameterSpace::neighbor(const Configuration& center,
+                                            double sigma,
+                                            stats::Rng& rng) const {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("HyperParameterSpace::neighbor: sigma <= 0");
+  }
+  std::vector<double> unit = encode(center);
+  for (double& u : unit) {
+    u = std::clamp(u + rng.gaussian(0.0, sigma), 0.0, 1.0);
+  }
+  return decode(unit);
+}
+
+void HyperParameterSpace::validate(const Configuration& config) const {
+  if (config.size() != parameters_.size()) {
+    throw std::invalid_argument(
+        "HyperParameterSpace: configuration size mismatch");
+  }
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    const ParameterDef& p = parameters_[i];
+    if (config[i] < p.lo || config[i] > p.hi) {
+      throw std::invalid_argument("HyperParameterSpace: parameter '" + p.name +
+                                  "' out of range");
+    }
+    if (p.kind == ParameterKind::Integer &&
+        std::floor(config[i]) != config[i]) {
+      throw std::invalid_argument("HyperParameterSpace: parameter '" + p.name +
+                                  "' must be integral");
+    }
+  }
+}
+
+bool HyperParameterSpace::same_point(const Configuration& a,
+                                     const Configuration& b,
+                                     double tol) const {
+  validate(a);
+  validate(b);
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    if (parameters_[i].kind == ParameterKind::Integer) {
+      if (a[i] != b[i]) return false;
+    } else if (std::abs(a[i] - b[i]) >
+               tol * std::max(1.0, std::abs(a[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hp::core

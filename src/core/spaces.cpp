@@ -1,0 +1,145 @@
+#include "core/spaces.hpp"
+
+#include <stdexcept>
+
+namespace hp::core {
+
+BenchmarkProblem::BenchmarkProblem(std::string name, HyperParameterSpace space,
+                                   nn::Shape input, std::size_t num_classes,
+                                   std::size_t conv_stages,
+                                   std::size_t dense_stages)
+    : name_(std::move(name)),
+      space_(std::move(space)),
+      input_(input),
+      num_classes_(num_classes),
+      conv_stages_(conv_stages),
+      dense_stages_(dense_stages) {
+  const std::size_t expected_structural = conv_stages_ * 3 + dense_stages_;
+  if (space_.structural_dimension() != expected_structural) {
+    throw std::invalid_argument(
+        "BenchmarkProblem: structural dimension does not match stage counts");
+  }
+}
+
+nn::CnnSpec BenchmarkProblem::to_cnn_spec(const Configuration& config) const {
+  const std::vector<double> z = space_.structural_vector(config);
+  nn::CnnSpec spec;
+  spec.input = input_;
+  spec.num_classes = num_classes_;
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < conv_stages_; ++s) {
+    nn::ConvStage stage;
+    stage.features = static_cast<std::size_t>(z[idx++]);
+    stage.kernel_size = static_cast<std::size_t>(z[idx++]);
+    stage.pool_size = static_cast<std::size_t>(z[idx++]);
+    spec.conv_stages.push_back(stage);
+  }
+  for (std::size_t s = 0; s < dense_stages_; ++s) {
+    nn::DenseStage stage;
+    stage.units = static_cast<std::size_t>(z[idx++]);
+    spec.dense_stages.push_back(stage);
+  }
+  return spec;
+}
+
+BenchmarkProblem::TrainingSettings BenchmarkProblem::training_settings(
+    const Configuration& config) const {
+  space_.validate(config);
+  TrainingSettings settings;
+  if (const auto i = space_.index_of("learning_rate")) {
+    settings.learning_rate = config[*i];
+  }
+  if (const auto i = space_.index_of("momentum")) {
+    settings.momentum = config[*i];
+  }
+  if (const auto i = space_.index_of("weight_decay")) {
+    settings.weight_decay = config[*i];
+  }
+  return settings;
+}
+
+namespace {
+
+ParameterDef conv_features(const std::string& stage) {
+  return {"conv" + stage + "_features", ParameterKind::Integer, 20, 80, true};
+}
+ParameterDef conv_kernel(const std::string& stage) {
+  return {"conv" + stage + "_kernel", ParameterKind::Integer, 2, 5, true};
+}
+ParameterDef pool_kernel(const std::string& stage) {
+  return {"pool" + stage + "_kernel", ParameterKind::Integer, 1, 3, true};
+}
+ParameterDef fc_units(const std::string& stage) {
+  return {"fc" + stage + "_units", ParameterKind::Integer, 200, 700, true};
+}
+ParameterDef learning_rate() {
+  return {"learning_rate", ParameterKind::LogContinuous, 0.001, 0.1, false};
+}
+ParameterDef momentum() {
+  return {"momentum", ParameterKind::Continuous, 0.8, 0.95, false};
+}
+ParameterDef weight_decay() {
+  return {"weight_decay", ParameterKind::LogContinuous, 0.0001, 0.01, false};
+}
+
+}  // namespace
+
+BenchmarkProblem mnist_problem() {
+  // Six hyper-parameters, matching the paper's MNIST setup.
+  std::vector<ParameterDef> params = {
+      conv_features("1"), conv_kernel("1"), pool_kernel("1"),
+      fc_units("1"),      learning_rate(),  momentum(),
+  };
+  return BenchmarkProblem("mnist", HyperParameterSpace(std::move(params)),
+                          nn::Shape{1, 1, 28, 28}, 10, /*conv_stages=*/1,
+                          /*dense_stages=*/1);
+}
+
+BenchmarkProblem cifar10_problem() {
+  // Thirteen hyper-parameters, matching the paper's CIFAR-10 setup.
+  std::vector<ParameterDef> params = {
+      conv_features("1"), conv_kernel("1"), pool_kernel("1"),
+      conv_features("2"), conv_kernel("2"), pool_kernel("2"),
+      conv_features("3"), conv_kernel("3"), pool_kernel("3"),
+      fc_units("1"),      learning_rate(),  momentum(),
+      weight_decay(),
+  };
+  return BenchmarkProblem("cifar10", HyperParameterSpace(std::move(params)),
+                          nn::Shape{1, 3, 32, 32}, 10, /*conv_stages=*/3,
+                          /*dense_stages=*/1);
+}
+
+BenchmarkProblem tiny_mnist_problem() {
+  // Reduced ranges and a 12x12 input: real training finishes in seconds.
+  std::vector<ParameterDef> params = {
+      {"conv1_features", ParameterKind::Integer, 4, 16, true},
+      {"conv1_kernel", ParameterKind::Integer, 2, 4, true},
+      {"pool1_kernel", ParameterKind::Integer, 1, 2, true},
+      {"fc1_units", ParameterKind::Integer, 16, 64, true},
+      learning_rate(),
+      momentum(),
+  };
+  return BenchmarkProblem("tiny_mnist", HyperParameterSpace(std::move(params)),
+                          nn::Shape{1, 1, 12, 12}, 10, /*conv_stages=*/1,
+                          /*dense_stages=*/1);
+}
+
+BenchmarkProblem tiny_cifar_problem() {
+  std::vector<ParameterDef> params = {
+      {"conv1_features", ParameterKind::Integer, 4, 16, true},
+      {"conv1_kernel", ParameterKind::Integer, 2, 4, true},
+      {"pool1_kernel", ParameterKind::Integer, 1, 2, true},
+      {"conv2_features", ParameterKind::Integer, 4, 16, true},
+      {"conv2_kernel", ParameterKind::Integer, 2, 3, true},
+      {"pool2_kernel", ParameterKind::Integer, 1, 2, true},
+      {"fc1_units", ParameterKind::Integer, 16, 64, true},
+      learning_rate(),
+      momentum(),
+      weight_decay(),
+  };
+  return BenchmarkProblem("tiny_cifar", HyperParameterSpace(std::move(params)),
+                          nn::Shape{1, 3, 16, 16}, 10, /*conv_stages=*/2,
+                          /*dense_stages=*/1);
+}
+
+}  // namespace hp::core

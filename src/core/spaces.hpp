@@ -1,0 +1,76 @@
+#pragma once
+// The paper's two benchmark problems: AlexNet-variant spaces for MNIST
+// (six hyper-parameters) and CIFAR-10 (thirteen hyper-parameters), with the
+// exact ranges of Section 4: conv features 20-80, conv kernel 2-5, pool
+// kernel 1-3, FC units 200-700, learning rate 0.001-0.1, momentum 0.8-0.95,
+// weight decay 0.0001-0.01.
+
+#include <string>
+
+#include "core/search_space.hpp"
+#include "nn/network.hpp"
+
+namespace hp::core {
+
+/// A benchmark problem: a hyper-parameter space plus the mapping from
+/// configurations to concrete CNN architectures and training settings.
+class BenchmarkProblem {
+ public:
+  /// @param name problem id ("mnist", "cifar10").
+  /// @param space hyper-parameter space; structural parameters must be laid
+  ///        out as [features, kernel, pool] per conv stage followed by
+  ///        [units] per dense stage, in order.
+  /// @param input single-item input shape.
+  /// @param num_classes classifier width.
+  /// @param conv_stages / dense_stages stage counts encoded in the space.
+  BenchmarkProblem(std::string name, HyperParameterSpace space,
+                   nn::Shape input, std::size_t num_classes,
+                   std::size_t conv_stages, std::size_t dense_stages);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const HyperParameterSpace& space() const noexcept {
+    return space_;
+  }
+  [[nodiscard]] const nn::Shape& input() const noexcept { return input_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Builds the CNN architecture for @p config (structural part only).
+  /// Throws std::invalid_argument for out-of-space configurations; the
+  /// returned spec may still be architecturally infeasible (spatial
+  /// collapse) — check with nn::is_feasible.
+  [[nodiscard]] nn::CnnSpec to_cnn_spec(const Configuration& config) const;
+
+  /// Extracts the training settings (learning rate, momentum, weight decay
+  /// where present) from @p config.
+  struct TrainingSettings {
+    double learning_rate = 0.01;
+    double momentum = 0.9;
+    double weight_decay = 0.0005;
+  };
+  [[nodiscard]] TrainingSettings training_settings(
+      const Configuration& config) const;
+
+ private:
+  std::string name_;
+  HyperParameterSpace space_;
+  nn::Shape input_;
+  std::size_t num_classes_;
+  std::size_t conv_stages_;
+  std::size_t dense_stages_;
+};
+
+/// MNIST problem: 1x28x28 input, one conv stage + one FC stage,
+/// six hyper-parameters (4 structural + learning rate + momentum).
+[[nodiscard]] BenchmarkProblem mnist_problem();
+
+/// CIFAR-10 problem: 3x32x32 input, three conv stages + one FC stage,
+/// thirteen hyper-parameters (10 structural + lr + momentum + weight decay).
+[[nodiscard]] BenchmarkProblem cifar10_problem();
+
+/// Scaled-down problems over the same style of space, with small input
+/// images — used by tests and the real-training examples so genuine CNN
+/// training completes in seconds.
+[[nodiscard]] BenchmarkProblem tiny_mnist_problem();
+[[nodiscard]] BenchmarkProblem tiny_cifar_problem();
+
+}  // namespace hp::core

@@ -1,0 +1,104 @@
+#include "core/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace csv: " + what);
+}
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+EvaluationStatus status_from_string(const std::string& name) {
+  if (name == "completed") return EvaluationStatus::Completed;
+  if (name == "early_terminated") return EvaluationStatus::EarlyTerminated;
+  if (name == "model_filtered") return EvaluationStatus::ModelFiltered;
+  if (name == "infeasible_architecture") {
+    return EvaluationStatus::InfeasibleArchitecture;
+  }
+  fail("unknown status '" + name + "'");
+}
+
+double parse_number(const std::string& text, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) fail(std::string("malformed ") + what);
+    return value;
+  } catch (const std::logic_error&) {
+    fail(std::string("malformed ") + what);
+  }
+}
+
+}  // namespace
+
+RunTrace load_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) fail("empty stream");
+  const std::string expected_header =
+      "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
+      "violates,cost_s";
+  if (line != expected_header) fail("unexpected header '" + line + "'");
+
+  RunTrace trace;
+  std::size_t row = 1;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto fields = split_csv_row(line);
+    if (fields.size() != 9) {
+      fail("row " + std::to_string(row) + ": expected 9 fields, got " +
+           std::to_string(fields.size()));
+    }
+    EvaluationRecord r;
+    r.index = static_cast<std::size_t>(parse_number(fields[0], "index"));
+    r.timestamp_s = parse_number(fields[1], "timestamp");
+    r.status = status_from_string(fields[2]);
+    r.test_error = parse_number(fields[3], "test_error");
+    r.diverged = parse_number(fields[4], "diverged") != 0.0;
+    if (!fields[5].empty()) {
+      r.measured_power_w = parse_number(fields[5], "power");
+    }
+    if (!fields[6].empty()) {
+      r.measured_memory_mb = parse_number(fields[6], "memory");
+    }
+    r.violates_constraints = parse_number(fields[7], "violates") != 0.0;
+    r.cost_s = parse_number(fields[8], "cost");
+    trace.add(std::move(r));
+  }
+  return trace;
+}
+
+void save_trace_csv_file(const RunTrace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open '" + path + "' for writing");
+  trace.write_csv(os);
+  if (!os) fail("write failed");
+}
+
+RunTrace load_trace_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open '" + path + "' for reading");
+  return load_trace_csv(is);
+}
+
+}  // namespace hp::core

@@ -1,0 +1,23 @@
+#pragma once
+// CSV persistence for run traces: RunTrace::write_csv's counterpart, so
+// finished experiments can be re-analyzed (Pareto fronts, best-error
+// curves) without re-running the search. Note the CSV carries the sample
+// records but not the configurations' parameter values; loaded traces
+// support every RunTrace query except config-dependent ones.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/run_trace.hpp"
+
+namespace hp::core {
+
+/// Parses a CSV produced by RunTrace::write_csv. Throws std::runtime_error
+/// on a malformed header or row.
+[[nodiscard]] RunTrace load_trace_csv(std::istream& is);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_trace_csv_file(const RunTrace& trace, const std::string& path);
+[[nodiscard]] RunTrace load_trace_csv_file(const std::string& path);
+
+}  // namespace hp::core

@@ -1,0 +1,109 @@
+#include "gp/gaussian_process.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hp::gp {
+
+double Prediction::stddev() const noexcept {
+  return variance > 0.0 ? std::sqrt(variance) : 0.0;
+}
+
+double Prediction::observation_variance(double noise_variance) const noexcept {
+  return variance + noise_variance;
+}
+
+GaussianProcess::GaussianProcess(const Kernel& kernel, double noise_variance)
+    : kernel_(kernel.clone()), noise_variance_(noise_variance) {
+  if (noise_variance < 0.0) {
+    throw std::invalid_argument("GaussianProcess: negative noise variance");
+  }
+}
+
+void GaussianProcess::fit(linalg::Matrix x, linalg::Vector y) {
+  if (x.rows() == 0) {
+    throw std::invalid_argument("GaussianProcess::fit: empty dataset");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("GaussianProcess::fit: rows(X) != size(y)");
+  }
+  x_ = std::move(x);
+  y_ = std::move(y);
+  refit();
+}
+
+void GaussianProcess::refit() {
+  y_mean_ = y_.mean();
+  linalg::Matrix k = kernel_matrix(*kernel_, x_);
+  k.add_to_diagonal(noise_variance_);
+  auto chol = linalg::Cholesky::with_jitter(std::move(k));
+  if (!chol) {
+    throw std::runtime_error(
+        "GaussianProcess: kernel matrix not positive definite even with "
+        "jitter");
+  }
+  chol_ = std::move(*chol);
+  linalg::Vector centered = y_;
+  for (std::size_t i = 0; i < centered.size(); ++i) centered[i] -= y_mean_;
+  alpha_ = chol_->solve(centered);
+}
+
+Prediction GaussianProcess::predict(const linalg::Vector& x_star) const {
+  if (!fitted()) {
+    throw std::logic_error("GaussianProcess::predict before fit");
+  }
+  const linalg::Vector k_star = kernel_cross(*kernel_, x_, x_star);
+  Prediction p;
+  p.mean = y_mean_ + linalg::dot(k_star, alpha_);
+  // var = k(x*,x*) - v^T v with v = L^{-1} k_star.
+  const linalg::Vector v = chol_->solve_lower(k_star);
+  const double reduction = linalg::dot(v, v);
+  p.variance = std::max(0.0, kernel_->diagonal_value() - reduction);
+  return p;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  if (!fitted()) {
+    throw std::logic_error("GaussianProcess::log_marginal_likelihood before fit");
+  }
+  const auto n = static_cast<double>(y_.size());
+  linalg::Vector centered = y_;
+  for (std::size_t i = 0; i < centered.size(); ++i) centered[i] -= y_mean_;
+  const double data_fit = -0.5 * linalg::dot(centered, alpha_);
+  const double complexity = -0.5 * chol_->log_det();
+  const double norm = -0.5 * n * std::log(2.0 * std::numbers::pi);
+  return data_fit + complexity + norm;
+}
+
+linalg::Vector GaussianProcess::loo_means() const {
+  if (!fitted()) {
+    throw std::logic_error("GaussianProcess::loo_means before fit");
+  }
+  // mu_i = y_i - alpha_i / (K^{-1})_{ii}   (R&W 5.12)
+  const linalg::Matrix kinv = chol_->inverse();
+  linalg::Vector out(y_.size());
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    out[i] = y_[i] - alpha_[i] / kinv(i, i);
+  }
+  return out;
+}
+
+std::size_t GaussianProcess::num_observations() const noexcept {
+  return x_.rows();
+}
+
+void GaussianProcess::set_kernel(const Kernel& kernel) {
+  kernel_ = kernel.clone();
+  if (x_.rows() > 0) refit();
+}
+
+void GaussianProcess::set_noise_variance(double noise_variance) {
+  if (noise_variance < 0.0) {
+    throw std::invalid_argument("GaussianProcess: negative noise variance");
+  }
+  noise_variance_ = noise_variance;
+  if (x_.rows() > 0) refit();
+}
+
+}  // namespace hp::gp

@@ -1,0 +1,80 @@
+#pragma once
+// Gaussian-process regression: exact posterior inference with a Cholesky
+// factor of the noisy kernel matrix, as used by the surrogate model M in the
+// paper's Bayesian-optimization loop (Section 3.1):
+//   f | X ~ N(m, K),  y | f, sigma^2 ~ N(f, sigma^2 I).
+
+#include <memory>
+#include <optional>
+
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace hp::gp {
+
+/// Posterior predictive distribution at one query point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< Latent-function variance (noise excluded).
+  [[nodiscard]] double stddev() const noexcept;
+  /// Variance of a new noisy observation (latent variance + noise).
+  [[nodiscard]] double observation_variance(double noise_variance) const noexcept;
+};
+
+/// Exact GP regressor. Construct once per dataset (refits on every
+/// observation update, matching the sequential BO loop sizes of tens to a
+/// few hundred points).
+class GaussianProcess {
+ public:
+  /// @param kernel covariance function (cloned internally).
+  /// @param noise_variance observation noise sigma^2 (>= 0).
+  GaussianProcess(const Kernel& kernel, double noise_variance);
+
+  /// Fits the posterior to inputs @p x (one row per observation) and
+  /// targets @p y. Internally centres the targets on their mean (a constant
+  /// mean function). Throws std::invalid_argument on shape mismatch or an
+  /// empty dataset, std::runtime_error if the kernel matrix cannot be
+  /// factorized even with jitter.
+  void fit(linalg::Matrix x, linalg::Vector y);
+
+  /// True once fit() has succeeded.
+  [[nodiscard]] bool fitted() const noexcept { return chol_.has_value(); }
+
+  /// Posterior predictive mean/variance at @p x_star.
+  /// Throws std::logic_error if not fitted.
+  [[nodiscard]] Prediction predict(const linalg::Vector& x_star) const;
+
+  /// Log marginal likelihood of the training targets under the current
+  /// kernel/noise; the objective maximized by kernel fitting.
+  [[nodiscard]] double log_marginal_likelihood() const;
+
+  /// Leave-one-out predictive means (Rasmussen & Williams Eq. 5.12), a
+  /// cheap internal cross-validation diagnostic.
+  [[nodiscard]] linalg::Vector loo_means() const;
+
+  [[nodiscard]] const Kernel& kernel() const noexcept { return *kernel_; }
+  [[nodiscard]] double noise_variance() const noexcept { return noise_variance_; }
+  [[nodiscard]] std::size_t num_observations() const noexcept;
+  [[nodiscard]] double target_mean() const noexcept { return y_mean_; }
+
+  /// Replaces the kernel (e.g. after hyper-parameter fitting) and refits if
+  /// data is present.
+  void set_kernel(const Kernel& kernel);
+  /// Replaces the noise variance and refits if data is present.
+  void set_noise_variance(double noise_variance);
+
+ private:
+  void refit();
+
+  std::unique_ptr<Kernel> kernel_;
+  double noise_variance_;
+  linalg::Matrix x_;
+  linalg::Vector y_;         ///< raw targets
+  double y_mean_ = 0.0;      ///< constant mean function value
+  std::optional<linalg::Cholesky> chol_;
+  linalg::Vector alpha_;     ///< K_y^{-1} (y - mean)
+};
+
+}  // namespace hp::gp

@@ -1,0 +1,114 @@
+#pragma once
+// Covariance kernels for Gaussian-process regression. Spearmint (the tool
+// HyperPower builds on) defaults to a Matern 5/2 kernel with automatic
+// relevance determination (ARD) length-scales; we provide that plus
+// squared-exponential and Matern 3/2 for comparison/ablation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace hp::gp {
+
+/// Hyper-parameters shared by all stationary ARD kernels.
+struct KernelParams {
+  /// Signal variance sigma_f^2 (amplitude of function variation). Must be > 0.
+  double signal_variance = 1.0;
+  /// One positive length-scale per input dimension (ARD). A single entry is
+  /// broadcast to all dimensions (isotropic kernel).
+  std::vector<double> length_scales = {1.0};
+
+  /// Validates positivity; throws std::invalid_argument on violation.
+  void validate() const;
+  /// Length-scale for dimension @p d (handles the broadcast case).
+  [[nodiscard]] double length_scale(std::size_t d) const;
+};
+
+/// Abstract stationary covariance function k(x, x').
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance between two points. Throws std::invalid_argument on
+  /// dimension mismatch between the points.
+  [[nodiscard]] virtual double operator()(const linalg::Vector& a,
+                                          const linalg::Vector& b) const = 0;
+
+  /// k(x, x) — for stationary kernels this is the signal variance.
+  [[nodiscard]] virtual double diagonal_value() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual const KernelParams& params() const = 0;
+  /// Clone with different hyper-parameters (same functional form).
+  [[nodiscard]] virtual std::unique_ptr<Kernel> with_params(
+      KernelParams params) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Kernel> clone() const = 0;
+};
+
+/// k(a,b) = sigma_f^2 * exp(-0.5 * r^2), r^2 = sum ((a_d-b_d)/l_d)^2.
+class SquaredExponentialKernel final : public Kernel {
+ public:
+  explicit SquaredExponentialKernel(KernelParams params);
+  [[nodiscard]] double operator()(const linalg::Vector& a,
+                                  const linalg::Vector& b) const override;
+  [[nodiscard]] double diagonal_value() const override;
+  [[nodiscard]] std::string name() const override { return "squared_exponential"; }
+  [[nodiscard]] const KernelParams& params() const override { return params_; }
+  [[nodiscard]] std::unique_ptr<Kernel> with_params(KernelParams params) const override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
+
+ private:
+  KernelParams params_;
+};
+
+/// Matern nu=3/2: sigma_f^2 * (1 + sqrt(3) r) exp(-sqrt(3) r).
+class Matern32Kernel final : public Kernel {
+ public:
+  explicit Matern32Kernel(KernelParams params);
+  [[nodiscard]] double operator()(const linalg::Vector& a,
+                                  const linalg::Vector& b) const override;
+  [[nodiscard]] double diagonal_value() const override;
+  [[nodiscard]] std::string name() const override { return "matern32"; }
+  [[nodiscard]] const KernelParams& params() const override { return params_; }
+  [[nodiscard]] std::unique_ptr<Kernel> with_params(KernelParams params) const override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
+
+ private:
+  KernelParams params_;
+};
+
+/// Matern nu=5/2 (Spearmint's default):
+/// sigma_f^2 * (1 + sqrt(5) r + 5 r^2 / 3) exp(-sqrt(5) r).
+class Matern52Kernel final : public Kernel {
+ public:
+  explicit Matern52Kernel(KernelParams params);
+  [[nodiscard]] double operator()(const linalg::Vector& a,
+                                  const linalg::Vector& b) const override;
+  [[nodiscard]] double diagonal_value() const override;
+  [[nodiscard]] std::string name() const override { return "matern52"; }
+  [[nodiscard]] const KernelParams& params() const override { return params_; }
+  [[nodiscard]] std::unique_ptr<Kernel> with_params(KernelParams params) const override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
+
+ private:
+  KernelParams params_;
+};
+
+/// Scaled Euclidean distance r used by all ARD kernels above.
+[[nodiscard]] double ard_distance(const linalg::Vector& a,
+                                  const linalg::Vector& b,
+                                  const KernelParams& params);
+
+/// Builds the symmetric Gram matrix K(X, X) for rows of @p x.
+[[nodiscard]] linalg::Matrix kernel_matrix(const Kernel& k,
+                                           const linalg::Matrix& x);
+
+/// Builds the cross-covariance vector k(X, x_star).
+[[nodiscard]] linalg::Vector kernel_cross(const Kernel& k,
+                                          const linalg::Matrix& x,
+                                          const linalg::Vector& x_star);
+
+}  // namespace hp::gp

@@ -1,0 +1,169 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "stats/rng.hpp"
+
+namespace hp::hw {
+
+namespace {
+
+/// Maps a uint64 hash to a standard-normal-ish deviate deterministically
+/// (sum of 4 scaled uniforms; adequate for a few-percent deviation term).
+double hash_to_gaussian(std::uint64_t h) {
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = stats::splitmix64(h);
+    acc += static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  }
+  return (acc - 2.0) * std::sqrt(3.0);  // var of sum of 4 U(0,1) is 1/3
+}
+
+}  // namespace
+
+CostModel::CostModel(DeviceSpec device, CostModelOptions options)
+    : device_(std::move(device)), options_(options) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("CostModel: batch size must be > 0");
+  }
+  if (device_.fp32_tflops <= 0.0 || device_.dram_bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("CostModel: invalid device throughput");
+  }
+}
+
+std::uint64_t CostModel::hash_spec(const nn::CnnSpec& spec) {
+  std::uint64_t h = 0x5851f42d4c957f2dULL;
+  const auto mix = [&h](std::uint64_t v) { h = stats::splitmix64(h ^ v); };
+  mix(spec.input.c);
+  mix(spec.input.h);
+  mix(spec.input.w);
+  mix(spec.num_classes);
+  for (double z : spec.structural_vector()) {
+    mix(std::bit_cast<std::uint64_t>(z));
+  }
+  return h;
+}
+
+double CostModel::power_demand(const nn::CnnSpec& spec) const {
+  // Stage-additive demand. Conv stages: more filters = more concurrently
+  // active ALUs; larger kernels raise arithmetic intensity mildly; pooling
+  // shrinks downstream maps (less work), captured by a per-stage pool
+  // factor and device-dependent geometric depth attenuation.
+  double demand = 2.0;  // classifier/softmax + framework baseline activity
+  double depth_factor = 1.0;
+  for (const nn::ConvStage& s : spec.conv_stages) {
+    const double k = static_cast<double>(s.kernel_size);
+    const double kernel_factor = 0.75 + 0.25 * (k / 3.5) * (k / 3.5);
+    const double pool_factor =
+        1.0 + 0.15 * (2.0 - static_cast<double>(s.pool_size));
+    demand += 0.78 * static_cast<double>(s.features) * kernel_factor *
+              pool_factor * depth_factor;
+    depth_factor *= device_.power_depth_attenuation;
+  }
+  for (const nn::DenseStage& s : spec.dense_stages) {
+    demand += 0.06 * static_cast<double>(s.units);
+  }
+  return demand;
+}
+
+double CostModel::demand_half_saturation() const noexcept {
+  return device_.power_demand_half_sat;
+}
+
+InferenceCost CostModel::evaluate(const nn::CnnSpec& spec) const {
+  const nn::WorkloadSummary workload = nn::compute_workload(spec);
+  const std::uint64_t config_hash = hash_spec(spec);
+  const double batch = static_cast<double>(options_.batch_size);
+  const double peak_flops = device_.fp32_tflops * 1e12;
+  const double bandwidth = device_.dram_bandwidth_gbps * 1e9;
+  constexpr double kLaunchOverheadMs = 0.006;  // per kernel
+  constexpr double kMaxEfficiency = 0.72;      // fraction of peak FLOPs
+
+  // --- Latency: per-layer roofline.
+  const double half_sat_parallel = 1800.0 * static_cast<double>(device_.sm_count);
+  double total_latency_ms = 0.0;
+  double workspace_bytes = 0.0;
+  std::vector<LayerCost> layer_costs;
+  layer_costs.reserve(workload.layers.size());
+  for (const nn::LayerWorkload& layer : workload.layers) {
+    const double macs = static_cast<double>(layer.macs) * batch;
+    const double outputs = static_cast<double>(layer.activation_count) * batch;
+    const double bytes =
+        4.0 * (2.0 * outputs + static_cast<double>(layer.weight_count));
+    double latency_ms = kLaunchOverheadMs;
+    if (macs > 0.0) {
+      const double efficiency =
+          kMaxEfficiency * outputs / (outputs + half_sat_parallel);
+      const double compute_ms =
+          (2.0 * macs) / (peak_flops * std::max(efficiency, 1e-4)) * 1e3;
+      const double memory_ms = bytes / bandwidth * 1e3;
+      latency_ms += std::max(compute_ms, memory_ms);
+    } else {
+      latency_ms += bytes / bandwidth * 1e3;
+    }
+    total_latency_ms += latency_ms;
+    layer_costs.push_back({layer.name, latency_ms});
+    // Caffe-style im2col workspace: patch rows x output pixels, allocated
+    // per image (Caffe lowers one image at a time). From the workload
+    // numbers: patch = macs / outputs, features = weights / (patch + 1),
+    // output pixels = outputs / features.
+    if (layer.name == "conv2d" && layer.activation_count > 0 &&
+        layer.weight_count > 0) {
+      const double patch = static_cast<double>(layer.macs) /
+                           static_cast<double>(layer.activation_count);
+      const double features =
+          static_cast<double>(layer.weight_count) / (patch + 1.0);
+      const double out_pixels =
+          static_cast<double>(layer.activation_count) / std::max(1.0, features);
+      workspace_bytes = std::max(workspace_bytes, 4.0 * patch * out_pixels);
+    }
+  }
+
+  // --- Power: saturating function of the stage-additive demand.
+  const double demand = power_demand(spec);
+  const double half_sat = demand_half_saturation();
+  const double utilization = demand / (demand + half_sat);
+  double power = device_.idle_power_w +
+                 (device_.tdp_w - device_.idle_power_w) * utilization;
+
+  // --- Memory: overhead + weights + double-buffered batch activations +
+  // workspace, rounded to allocator granularity.
+  const double weight_mb =
+      4.0 * static_cast<double>(workload.total_weights) / 1e6;
+  // Caffe allocates data blobs for every layer output plus partial diff
+  // buffers even at inference time, hence the 1.5x factor on activations.
+  const double activation_mb =
+      4.0 * 1.5 * static_cast<double>(workload.total_activations) * batch / 1e6;
+  const double workspace_mb = workspace_bytes / 1e6;
+  double memory = device_.runtime_overhead_mb + weight_mb + activation_mb +
+                  workspace_mb;
+  const double gran = options_.allocator_granularity_mb;
+  memory = std::ceil(memory / gran) * gran;
+
+  // --- Systematic per-configuration deviation (board effects, cache
+  // behaviour): deterministic in (device, config).
+  const std::uint64_t base =
+      stats::splitmix64(config_hash ^ std::hash<std::string>{}(device_.name));
+  const double power_dev =
+      hash_to_gaussian(base) * options_.systematic_deviation_sd;
+  const double memory_dev = hash_to_gaussian(stats::splitmix64(base + 1)) *
+                            options_.systematic_deviation_sd * 0.6;
+
+  InferenceCost cost;
+  cost.latency_ms = total_latency_ms;
+  cost.layers = std::move(layer_costs);
+  cost.utilization = utilization;
+  cost.average_power_w =
+      std::clamp(power * (1.0 + power_dev), device_.idle_power_w * 0.8,
+                 device_.tdp_w * 1.05);
+  cost.memory_mb = std::max(memory * (1.0 + memory_dev),
+                            device_.runtime_overhead_mb * 0.5);
+  return cost;
+}
+
+}  // namespace hp::hw

@@ -1,0 +1,84 @@
+#pragma once
+// Analytic ground-truth cost model: maps a network architecture to latency,
+// power, memory and utilization on a given device. This is the *simulated
+// hardware* — the predictive models in src/core never see these equations,
+// only profiled samples, exactly as the paper's models only see NVML
+// measurements.
+//
+// Model structure:
+//  - POWER: each stage contributes compute "demand" (conv: proportional to
+//    its feature count, modulated mildly by kernel size, pooling and depth;
+//    FC: proportional to its unit count); sustained power is the idle floor
+//    plus the dynamic range scaled by a saturating utilization
+//    demand/(demand + half_sat). This mirrors the paper's empirical
+//    observation that GPU power is close to linear in the structural
+//    hyper-parameters, while the saturation, the kernel/pool modulation
+//    and a per-configuration systematic deviation leave the realistic
+//    few-percent residual the linear predictors cannot capture.
+//  - MEMORY: runtime overhead + weights + double-buffered batch activations
+//    + im2col workspace, rounded up to the allocator granularity.
+//  - LATENCY: per-layer roofline (compute vs bandwidth bound) with kernel
+//    launch overhead; efficiency saturates with available parallelism.
+
+#include <cstdint>
+
+#include "hw/device.hpp"
+#include "nn/network.hpp"
+
+namespace hp::hw {
+
+/// Ground-truth timing of a single layer (nvprof-style breakdown).
+struct LayerCost {
+  std::string name;  ///< layer type ("conv2d", "dense", ...)
+  double latency_ms = 0.0;
+};
+
+/// Deterministic "true" inference characteristics of a workload on a device.
+struct InferenceCost {
+  double latency_ms = 0.0;       ///< one forward pass of the whole batch
+  double average_power_w = 0.0;  ///< sustained power during back-to-back inference
+  double memory_mb = 0.0;        ///< resident device memory, overhead included
+  double utilization = 0.0;      ///< mean compute utilization in [0,1]
+  std::vector<LayerCost> layers; ///< per-layer latency breakdown
+
+  /// Energy of one inference batch, in joules (power x latency).
+  [[nodiscard]] double energy_j() const noexcept {
+    return average_power_w * latency_ms / 1e3;
+  }
+};
+
+/// Cost model options.
+struct CostModelOptions {
+  std::size_t batch_size = 128;   ///< inference batch used when profiling
+  double systematic_deviation_sd = 0.02;  ///< per-config model error (fraction)
+  double allocator_granularity_mb = 2.0;
+};
+
+/// Ground-truth cost model for one device.
+class CostModel {
+ public:
+  explicit CostModel(DeviceSpec device, CostModelOptions options = {});
+
+  /// Evaluates @p spec. Throws std::invalid_argument for infeasible specs
+  /// (propagated from nn::compute_workload).
+  [[nodiscard]] InferenceCost evaluate(const nn::CnnSpec& spec) const;
+
+  /// Compute-demand score of an architecture on this device; the
+  /// saturating power curve is applied on top of this. Exposed for tests.
+  [[nodiscard]] double power_demand(const nn::CnnSpec& spec) const;
+
+  /// Demand at which this device reaches half of its dynamic power range.
+  [[nodiscard]] double demand_half_saturation() const noexcept;
+
+  /// Stable hash of a spec's structural vector (and input shape).
+  [[nodiscard]] static std::uint64_t hash_spec(const nn::CnnSpec& spec);
+
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+  [[nodiscard]] const CostModelOptions& options() const noexcept { return options_; }
+
+ private:
+  DeviceSpec device_;
+  CostModelOptions options_;
+};
+
+}  // namespace hp::hw

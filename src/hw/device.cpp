@@ -1,0 +1,84 @@
+#include "hw/device.hpp"
+
+namespace hp::hw {
+
+DeviceSpec gtx1070() {
+  DeviceSpec d;
+  d.name = "GTX 1070";
+  d.sm_count = 15;
+  d.core_clock_ghz = 1.683;
+  d.fp32_tflops = 6.5;
+  d.dram_gb = 8.0;
+  d.dram_bandwidth_gbps = 256.0;
+  d.tdp_w = 150.0;
+  d.idle_power_w = 35.0;  // measured-at-the-wall style idle with display off
+  d.supports_memory_query = true;
+  d.runtime_overhead_mb = 560.0;  // CUDA context + cuDNN handles (Caffe)
+  d.power_demand_half_sat = 52.0;
+  d.power_depth_attenuation = 0.18;
+  return d;
+}
+
+DeviceSpec tegra_tx1() {
+  DeviceSpec d;
+  d.name = "Tegra TX1";
+  d.sm_count = 2;
+  d.core_clock_ghz = 0.998;
+  d.fp32_tflops = 0.512;
+  d.dram_gb = 4.0;
+  d.dram_bandwidth_gbps = 25.6;
+  d.tdp_w = 15.0;
+  d.idle_power_w = 3.0;
+  d.supports_memory_query = false;  // paper footnote 1
+  d.runtime_overhead_mb = 330.0;
+  d.power_demand_half_sat = 30.0;
+  d.power_depth_attenuation = 0.70;
+  return d;
+}
+
+DeviceSpec gtx1080ti() {
+  DeviceSpec d;
+  d.name = "GTX 1080 Ti";
+  d.sm_count = 28;
+  d.core_clock_ghz = 1.582;
+  d.fp32_tflops = 11.3;
+  d.dram_gb = 11.0;
+  d.dram_bandwidth_gbps = 484.0;
+  d.tdp_w = 250.0;
+  d.idle_power_w = 55.0;
+  d.supports_memory_query = true;
+  d.runtime_overhead_mb = 600.0;
+  d.power_demand_half_sat = 78.0;
+  d.power_depth_attenuation = 0.15;
+  return d;
+}
+
+DeviceSpec jetson_nano() {
+  DeviceSpec d;
+  d.name = "Jetson Nano";
+  d.sm_count = 1;
+  d.core_clock_ghz = 0.921;
+  d.fp32_tflops = 0.236;
+  d.dram_gb = 4.0;
+  d.dram_bandwidth_gbps = 25.6;
+  d.tdp_w = 10.0;
+  d.idle_power_w = 1.5;
+  d.supports_memory_query = false;
+  d.runtime_overhead_mb = 280.0;
+  d.power_demand_half_sat = 26.0;
+  d.power_depth_attenuation = 0.75;
+  return d;
+}
+
+std::vector<DeviceSpec> all_devices() {
+  return {gtx1070(), tegra_tx1(), gtx1080ti(), jetson_nano()};
+}
+
+std::optional<DeviceSpec> find_device(std::string_view name) {
+  for (DeviceSpec& d : all_devices()) {
+    if (d.name == name) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hp::hw

@@ -1,0 +1,58 @@
+#pragma once
+// GPU device descriptions. The paper profiles on an NVIDIA GTX 1070 (server
+// class) and a Tegra TX1 (embedded); we model both plus two extra devices
+// for extension experiments. Numbers are public datasheet values.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hp::hw {
+
+/// Static description of a GPU platform.
+struct DeviceSpec {
+  std::string name;
+  std::size_t sm_count = 0;          ///< streaming multiprocessors
+  double core_clock_ghz = 1.0;
+  double fp32_tflops = 1.0;          ///< peak single-precision throughput
+  double dram_gb = 1.0;              ///< device memory capacity
+  double dram_bandwidth_gbps = 1.0;
+  double tdp_w = 100.0;              ///< thermal design power
+  double idle_power_w = 10.0;
+  /// Whether the platform exposes a memory-consumption counter. Tegra TX1
+  /// does not (its NVML subset lacks memory queries and tegrastats reports
+  /// utilization, not consumption — footnote 1 of the paper).
+  bool supports_memory_query = true;
+  /// Framework/runtime baseline memory footprint when a model is loaded
+  /// (CUDA context + cuDNN workspaces), in MB.
+  double runtime_overhead_mb = 0.0;
+  /// Compute-demand score at which the device reaches half of its dynamic
+  /// power range (see hw::CostModel::power_demand); device-specific
+  /// calibration of the sustained-power saturation curve.
+  double power_demand_half_sat = 52.0;
+  /// Per-stage geometric attenuation of deeper conv stages' power demand.
+  /// Wide server GPUs underutilize the small feature maps of deep stages
+  /// (strong attenuation); embedded GPUs stay saturated (weak attenuation).
+  double power_depth_attenuation = 0.25;
+
+  [[nodiscard]] bool operator==(const DeviceSpec&) const = default;
+};
+
+/// Built-in device database.
+///
+/// The two paper platforms:
+[[nodiscard]] DeviceSpec gtx1070();
+[[nodiscard]] DeviceSpec tegra_tx1();
+/// Extension devices (not in the paper; used by the ablation benches):
+[[nodiscard]] DeviceSpec gtx1080ti();
+[[nodiscard]] DeviceSpec jetson_nano();
+
+/// All known devices.
+[[nodiscard]] std::vector<DeviceSpec> all_devices();
+
+/// Lookup by name; returns std::nullopt if unknown.
+[[nodiscard]] std::optional<DeviceSpec> find_device(std::string_view name);
+
+}  // namespace hp::hw

@@ -1,0 +1,82 @@
+#include "hw/nvml.hpp"
+
+#include <cmath>
+
+namespace hp::hw::nvml {
+
+std::string error_string(Return r) {
+  switch (r) {
+    case Return::Success:
+      return "Success";
+    case Return::ErrorUninitialized:
+      return "Uninitialized";
+    case Return::ErrorInvalidArgument:
+      return "Invalid Argument";
+    case Return::ErrorNotSupported:
+      return "Not Supported";
+    case Return::ErrorNotFound:
+      return "Not Found";
+  }
+  return "Unknown Error";
+}
+
+std::size_t Session::add_device(GpuSimulator* simulator) {
+  devices_.push_back(simulator);
+  return devices_.size() - 1;
+}
+
+Return Session::init() {
+  initialized_ = true;
+  return Return::Success;
+}
+
+Return Session::shutdown() {
+  if (!initialized_) return Return::ErrorUninitialized;
+  initialized_ = false;
+  return Return::Success;
+}
+
+Return Session::check_handle(std::size_t handle) const {
+  if (!initialized_) return Return::ErrorUninitialized;
+  if (handle >= devices_.size() || devices_[handle] == nullptr) {
+    return Return::ErrorNotFound;
+  }
+  return Return::Success;
+}
+
+Return Session::device_get_count(unsigned* count) const {
+  if (!initialized_) return Return::ErrorUninitialized;
+  if (count == nullptr) return Return::ErrorInvalidArgument;
+  *count = static_cast<unsigned>(devices_.size());
+  return Return::Success;
+}
+
+Return Session::device_get_name(std::size_t handle, std::string* name) const {
+  if (const Return r = check_handle(handle); r != Return::Success) return r;
+  if (name == nullptr) return Return::ErrorInvalidArgument;
+  *name = devices_[handle]->device().name;
+  return Return::Success;
+}
+
+Return Session::device_get_power_usage(std::size_t handle,
+                                       unsigned* milliwatts) {
+  if (const Return r = check_handle(handle); r != Return::Success) return r;
+  if (milliwatts == nullptr) return Return::ErrorInvalidArgument;
+  const double watts = devices_[handle]->read_power_w();
+  *milliwatts = static_cast<unsigned>(std::lround(watts * 1000.0));
+  return Return::Success;
+}
+
+Return Session::device_get_memory_info(std::size_t handle,
+                                       Memory* memory) const {
+  if (const Return r = check_handle(handle); r != Return::Success) return r;
+  if (memory == nullptr) return Return::ErrorInvalidArgument;
+  const auto info = devices_[handle]->memory_info();
+  if (!info) return Return::ErrorNotSupported;
+  memory->total = static_cast<std::uint64_t>(info->total_mb * 1024.0 * 1024.0);
+  memory->used = static_cast<std::uint64_t>(info->used_mb * 1024.0 * 1024.0);
+  memory->free = memory->total - memory->used;
+  return Return::Success;
+}
+
+}  // namespace hp::hw::nvml

@@ -1,0 +1,82 @@
+#include "hw/profiler.hpp"
+
+#include <stdexcept>
+
+namespace hp::hw {
+
+InferenceProfiler::InferenceProfiler(GpuSimulator& simulator,
+                                     ProfilerOptions options)
+    : simulator_(simulator), options_(options) {
+  if (options_.power_readings == 0) {
+    throw std::invalid_argument("InferenceProfiler: need >= 1 power reading");
+  }
+  handle_ = session_.add_device(&simulator_);
+  if (session_.init() != nvml::Return::Success) {
+    throw std::runtime_error("InferenceProfiler: NVML init failed");
+  }
+}
+
+InferenceProfiler::~InferenceProfiler() { (void)session_.shutdown(); }
+
+ProfileSample InferenceProfiler::profile(const nn::CnnSpec& spec) {
+  simulator_.load_model(spec);  // throws for infeasible/oversized models
+  simulator_.set_inference_active(true);
+
+  double power_sum = 0.0;
+  for (std::size_t i = 0; i < options_.power_readings; ++i) {
+    unsigned milliwatts = 0;
+    const nvml::Return r =
+        session_.device_get_power_usage(handle_, &milliwatts);
+    if (r != nvml::Return::Success) {
+      simulator_.unload_model();
+      throw std::runtime_error("InferenceProfiler: power query failed: " +
+                               nvml::error_string(r));
+    }
+    power_sum += static_cast<double>(milliwatts) / 1000.0;
+  }
+
+  ProfileSample sample;
+  sample.spec = spec;
+  sample.z = spec.structural_vector();
+  sample.power_w = power_sum / static_cast<double>(options_.power_readings);
+  sample.latency_ms = simulator_.inference_latency_ms();
+  if (options_.collect_layer_timings) {
+    sample.layer_timings = simulator_.profile_layers(
+        options_.layer_timing_noise_sd);
+  }
+
+  nvml::Memory memory;
+  const nvml::Return r = session_.device_get_memory_info(handle_, &memory);
+  if (r == nvml::Return::Success) {
+    sample.memory_mb = static_cast<double>(memory.used) / (1024.0 * 1024.0);
+  } else if (r != nvml::Return::ErrorNotSupported) {
+    simulator_.unload_model();
+    throw std::runtime_error("InferenceProfiler: memory query failed: " +
+                             nvml::error_string(r));
+  }
+  // ErrorNotSupported (Tegra) leaves sample.memory_mb empty, matching the
+  // paper's decision to skip memory constraints on Tegra.
+
+  simulator_.set_inference_active(false);
+  simulator_.unload_model();
+  return sample;
+}
+
+std::vector<ProfileSample> InferenceProfiler::profile_all(
+    const std::vector<nn::CnnSpec>& specs) {
+  std::vector<ProfileSample> samples;
+  samples.reserve(specs.size());
+  for (const nn::CnnSpec& spec : specs) {
+    try {
+      samples.push_back(profile(spec));
+    } catch (const std::invalid_argument&) {
+      // Infeasible architecture (spatial collapse): skip, as the paper's
+      // generation scripts skip Caffe definition failures.
+    } catch (const std::runtime_error&) {
+      // Model too large for the device: skip.
+    }
+  }
+  return samples;
+}
+
+}  // namespace hp::hw

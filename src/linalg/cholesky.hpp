@@ -1,0 +1,62 @@
+#pragma once
+// Cholesky factorization of symmetric positive-definite matrices, plus the
+// triangular solves and log-determinant needed by Gaussian-process
+// regression. Includes adaptive jitter for numerically borderline kernel
+// matrices (standard practice in GP implementations such as Spearmint/GPy).
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace hp::linalg {
+
+/// Lower-triangular Cholesky factor L of A = L L^T.
+class Cholesky {
+ public:
+  /// Factorizes @p a. Throws std::invalid_argument if @p a is not square or
+  /// not symmetric, std::runtime_error if it is not positive definite.
+  explicit Cholesky(const Matrix& a);
+
+  /// Attempts to factorize @p a, adding exponentially increasing jitter to
+  /// the diagonal on failure (starting at @p initial_jitter, up to
+  /// @p max_attempts doublings-by-10). Returns std::nullopt if the matrix
+  /// stays indefinite. On success, jitter_used() reports what was added.
+  [[nodiscard]] static std::optional<Cholesky> with_jitter(
+      Matrix a, double initial_jitter = 1e-10, int max_attempts = 8);
+
+  /// Lower factor L.
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+
+  /// Jitter added to the diagonal before factorization succeeded (0 when the
+  /// plain constructor was used).
+  [[nodiscard]] double jitter_used() const noexcept { return jitter_; }
+
+  /// Solves A x = b via forward then backward substitution.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves L y = b (forward substitution).
+  [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Solves L^T x = y (backward substitution).
+  [[nodiscard]] Vector solve_upper(const Vector& y) const;
+
+  /// log(det A) = 2 * sum(log(L_ii)).
+  [[nodiscard]] double log_det() const noexcept;
+
+  /// Reconstructs the inverse of A; O(n^3). For n up to a few hundred only.
+  [[nodiscard]] Matrix inverse() const;
+
+ private:
+  struct FromFactor {};
+  Cholesky(FromFactor, Matrix l, double jitter)
+      : l_(std::move(l)), jitter_(jitter) {}
+
+  /// Core in-place factorization; returns the factor or nullopt.
+  [[nodiscard]] static std::optional<Matrix> factorize(const Matrix& a);
+
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+}  // namespace hp::linalg

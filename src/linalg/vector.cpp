@@ -1,0 +1,111 @@
+#include "linalg/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace hp::linalg {
+
+namespace {
+void require_same_size(const Vector& a, const Vector& b, const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string("Vector ") + op +
+                                ": dimension mismatch (" +
+                                std::to_string(a.size()) + " vs " +
+                                std::to_string(b.size()) + ")");
+  }
+}
+}  // namespace
+
+double& Vector::operator[](std::size_t i) { return data_.at(i); }
+double Vector::operator[](std::size_t i) const { return data_.at(i); }
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  require_same_size(*this, rhs, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  require_same_size(*this, rhs, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  if (s == 0.0) throw std::invalid_argument("Vector /=: division by zero");
+  for (double& x : data_) x /= s;
+  return *this;
+}
+
+double Vector::norm() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Vector::sum() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Vector::mean() const {
+  if (data_.empty()) throw std::logic_error("Vector::mean on empty vector");
+  return sum() / static_cast<double>(data_.size());
+}
+
+double Vector::max() const {
+  if (data_.empty()) throw std::logic_error("Vector::max on empty vector");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::min() const {
+  if (data_.empty()) throw std::logic_error("Vector::min on empty vector");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(Vector lhs, double s) { return lhs *= s; }
+Vector operator*(double s, Vector rhs) { return rhs *= s; }
+Vector operator/(Vector lhs, double s) { return lhs /= s; }
+
+double dot(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "hadamard");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << v[i];
+  }
+  return os << ']';
+}
+
+}  // namespace hp::linalg

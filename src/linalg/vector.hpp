@@ -1,0 +1,84 @@
+#pragma once
+// Dense real vector with checked element access and the small set of
+// BLAS-1 style operations the rest of the library needs.
+//
+// Design notes: the library deals with small/medium dense problems (GP
+// kernel matrices of a few hundred rows, least-squares designs with tens of
+// columns), so the implementation favours clarity and safety over cache
+// blocking. All sizes are std::size_t; mismatched dimensions throw
+// std::invalid_argument rather than being UB.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace hp::linalg {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero-initialized vector of dimension @p n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  /// Vector of dimension @p n with every entry set to @p fill.
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Bounds-checked element access; throws std::out_of_range.
+  [[nodiscard]] double& operator[](std::size_t i);
+  [[nodiscard]] double operator[](std::size_t i) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& raw() noexcept { return data_; }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s) noexcept;
+  Vector& operator/=(double s);
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const noexcept;
+  /// Sum of entries.
+  [[nodiscard]] double sum() const noexcept;
+  /// Arithmetic mean; throws std::logic_error on an empty vector.
+  [[nodiscard]] double mean() const;
+  /// Largest entry; throws std::logic_error on an empty vector.
+  [[nodiscard]] double max() const;
+  /// Smallest entry; throws std::logic_error on an empty vector.
+  [[nodiscard]] double min() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(Vector lhs, double s);
+[[nodiscard]] Vector operator*(double s, Vector rhs);
+[[nodiscard]] Vector operator/(Vector lhs, double s);
+
+/// Inner product; throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Element-wise product; throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] Vector hadamard(const Vector& a, const Vector& b);
+
+/// Maximum absolute difference between two vectors of equal size.
+[[nodiscard]] double max_abs_diff(const Vector& a, const Vector& b);
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace hp::linalg

@@ -1,0 +1,174 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "nn/initializer.hpp"
+
+namespace hp::nn {
+
+Conv2dLayer::Conv2dLayer(std::size_t in_channels, std::size_t out_channels,
+                         std::size_t kernel_size)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size) {
+  if (in_channels == 0 || out_channels == 0 || kernel_size == 0) {
+    throw std::invalid_argument("Conv2dLayer: all dimensions must be > 0");
+  }
+  weights_.value.reshape({out_channels_, in_channels_, kernel_size_, kernel_size_});
+  weights_.gradient.reshape(weights_.value.shape());
+  weights_.decay = true;
+  bias_.value.reshape({1, out_channels_, 1, 1});
+  bias_.gradient.reshape(bias_.value.shape());
+  bias_.decay = false;
+}
+
+void Conv2dLayer::check_input(const Shape& input) const {
+  if (input.c != in_channels_) {
+    throw std::invalid_argument("Conv2dLayer: input channel mismatch");
+  }
+  if (input.h < kernel_size_ || input.w < kernel_size_) {
+    throw std::invalid_argument("Conv2dLayer: input smaller than kernel");
+  }
+}
+
+Shape Conv2dLayer::output_shape(const Shape& input) const {
+  check_input(input);
+  return {input.n, out_channels_, input.h - kernel_size_ + 1,
+          input.w - kernel_size_ + 1};
+}
+
+std::size_t Conv2dLayer::forward_macs(const Shape& input) const {
+  const Shape out = output_shape(input);
+  return out.n * out.c * out.h * out.w * in_channels_ * kernel_size_ *
+         kernel_size_;
+}
+
+void Conv2dLayer::im2col(const float* item, const Shape& input,
+                         std::vector<float>& cols) const {
+  const std::size_t out_h = input.h - kernel_size_ + 1;
+  const std::size_t out_w = input.w - kernel_size_ + 1;
+  const std::size_t patch = in_channels_ * kernel_size_ * kernel_size_;
+  cols.assign(patch * out_h * out_w, 0.0F);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    for (std::size_t kh = 0; kh < kernel_size_; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_size_; ++kw, ++row) {
+        float* dst = cols.data() + row * out_h * out_w;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const float* src =
+              item + (c * input.h + oh + kh) * input.w + kw;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            dst[oh * out_w + ow] = src[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::forward(const Tensor& input, Tensor& output) {
+  const Shape out_shape = output_shape(input.shape());
+  if (output.shape() != out_shape) output.reshape(out_shape);
+  const std::size_t out_h = out_shape.h;
+  const std::size_t out_w = out_shape.w;
+  const std::size_t cols_n = out_h * out_w;
+  const std::size_t patch = in_channels_ * kernel_size_ * kernel_size_;
+  const float* w = weights_.value.data();
+  const float* b = bias_.value.data();
+
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    im2col(input.item(n), input.shape(), col_buffer_);
+    float* out_item = output.item(n);
+    // GEMM: (out_c x patch) * (patch x cols_n)
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      float* out_plane = out_item + oc * cols_n;
+      for (std::size_t i = 0; i < cols_n; ++i) out_plane[i] = b[oc];
+      const float* w_row = w + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float wv = w_row[p];
+        if (wv == 0.0F) continue;
+        const float* col_row = col_buffer_.data() + p * cols_n;
+        for (std::size_t i = 0; i < cols_n; ++i) {
+          out_plane[i] += wv * col_row[i];
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::backward(const Tensor& input, const Tensor& grad_output,
+                           Tensor& grad_input) {
+  const Shape out_shape = output_shape(input.shape());
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("Conv2dLayer::backward: grad shape mismatch");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  grad_input.fill(0.0F);
+
+  const std::size_t cols_n = out_shape.h * out_shape.w;
+  const std::size_t patch = in_channels_ * kernel_size_ * kernel_size_;
+  const float* w = weights_.value.data();
+  float* wg = weights_.gradient.data();
+  float* bg = bias_.gradient.data();
+
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    im2col(input.item(n), input.shape(), col_buffer_);
+    const float* go_item = grad_output.item(n);
+
+    // Bias gradient: sum of each output plane.
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* go_plane = go_item + oc * cols_n;
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < cols_n; ++i) acc += go_plane[i];
+      bg[oc] += acc;
+    }
+
+    // Weight gradient: dW = dY * cols^T.
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* go_plane = go_item + oc * cols_n;
+      float* wg_row = wg + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float* col_row = col_buffer_.data() + p * cols_n;
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < cols_n; ++i) acc += go_plane[i] * col_row[i];
+        wg_row[p] += acc;
+      }
+    }
+
+    // Input gradient: col-grad = W^T * dY, then col2im scatter-add.
+    float* gi_item = grad_input.item(n);
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < in_channels_; ++c) {
+      for (std::size_t kh = 0; kh < kernel_size_; ++kh) {
+        for (std::size_t kw = 0; kw < kernel_size_; ++kw, ++row) {
+          for (std::size_t oh = 0; oh < out_shape.h; ++oh) {
+            float* gi_row =
+                gi_item + (c * input.shape().h + oh + kh) * input.shape().w + kw;
+            for (std::size_t ow = 0; ow < out_shape.w; ++ow) {
+              float acc = 0.0F;
+              for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+                acc += w[oc * patch + row] *
+                       go_item[oc * cols_n + oh * out_shape.w + ow];
+              }
+              gi_row[ow] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<Parameter*> Conv2dLayer::parameters() {
+  return {&weights_, &bias_};
+}
+
+void Conv2dLayer::initialize(stats::Rng& rng) {
+  const std::size_t fan_in = in_channels_ * kernel_size_ * kernel_size_;
+  he_normal(weights_.value, fan_in, rng);
+  constant_fill(bias_.value, 0.0F);
+  weights_.gradient.fill(0.0F);
+  bias_.gradient.fill(0.0F);
+}
+
+}  // namespace hp::nn

@@ -1,0 +1,47 @@
+#pragma once
+// 2-D convolution layer implemented via im2col + GEMM, the same strategy
+// Caffe (the paper's training substrate) uses.
+
+#include "nn/layers.hpp"
+
+namespace hp::nn {
+
+/// Valid-padding, stride-1 2-D convolution. The hyper-parameter space of the
+/// paper varies the number of output features (20-80) and kernel size (2-5)
+/// of each conv layer; both are constructor arguments here.
+class Conv2dLayer final : public Layer {
+ public:
+  /// @param in_channels input channel count (> 0).
+  /// @param out_channels number of learned filters (> 0).
+  /// @param kernel_size square kernel edge (> 0).
+  Conv2dLayer(std::size_t in_channels, std::size_t out_channels,
+              std::size_t kernel_size);
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  [[nodiscard]] std::vector<Parameter*> parameters() override;
+  void initialize(stats::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+  [[nodiscard]] std::size_t forward_macs(const Shape& input) const override;
+
+  [[nodiscard]] std::size_t in_channels() const noexcept { return in_channels_; }
+  [[nodiscard]] std::size_t out_channels() const noexcept { return out_channels_; }
+  [[nodiscard]] std::size_t kernel_size() const noexcept { return kernel_size_; }
+
+ private:
+  void check_input(const Shape& input) const;
+  /// Expands one batch item into the im2col buffer
+  /// (rows: in_c*k*k, cols: out_h*out_w).
+  void im2col(const float* item, const Shape& input, std::vector<float>& cols) const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_size_;
+  Parameter weights_;  ///< shape {out_c, in_c, k, k}
+  Parameter bias_;     ///< shape {1, out_c, 1, 1}
+  std::vector<float> col_buffer_;
+};
+
+}  // namespace hp::nn

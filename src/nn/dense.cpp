@@ -1,0 +1,94 @@
+#include "nn/dense.hpp"
+
+#include <stdexcept>
+
+#include "nn/initializer.hpp"
+
+namespace hp::nn {
+
+DenseLayer::DenseLayer(std::size_t in_features, std::size_t units)
+    : in_features_(in_features), units_(units) {
+  if (in_features == 0 || units == 0) {
+    throw std::invalid_argument("DenseLayer: dimensions must be > 0");
+  }
+  weights_.value.reshape({units_, in_features_, 1, 1});
+  weights_.gradient.reshape(weights_.value.shape());
+  weights_.decay = true;
+  bias_.value.reshape({1, units_, 1, 1});
+  bias_.gradient.reshape(bias_.value.shape());
+  bias_.decay = false;
+}
+
+void DenseLayer::check_input(const Shape& input) const {
+  if (input.per_item() != in_features_) {
+    throw std::invalid_argument(
+        "DenseLayer: flattened input size does not match in_features");
+  }
+}
+
+Shape DenseLayer::output_shape(const Shape& input) const {
+  check_input(input);
+  return {input.n, units_, 1, 1};
+}
+
+std::size_t DenseLayer::forward_macs(const Shape& input) const {
+  check_input(input);
+  return input.n * units_ * in_features_;
+}
+
+void DenseLayer::forward(const Tensor& input, Tensor& output) {
+  const Shape out_shape = output_shape(input.shape());
+  if (output.shape() != out_shape) output.reshape(out_shape);
+  const float* w = weights_.value.data();
+  const float* b = bias_.value.data();
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    const float* x = input.item(n);
+    float* y = output.item(n);
+    for (std::size_t u = 0; u < units_; ++u) {
+      const float* w_row = w + u * in_features_;
+      float acc = b[u];
+      for (std::size_t j = 0; j < in_features_; ++j) acc += w_row[j] * x[j];
+      y[u] = acc;
+    }
+  }
+}
+
+void DenseLayer::backward(const Tensor& input, const Tensor& grad_output,
+                          Tensor& grad_input) {
+  const Shape out_shape = output_shape(input.shape());
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("DenseLayer::backward: grad shape mismatch");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  grad_input.fill(0.0F);
+  const float* w = weights_.value.data();
+  float* wg = weights_.gradient.data();
+  float* bg = bias_.gradient.data();
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    const float* x = input.item(n);
+    const float* gy = grad_output.item(n);
+    float* gx = grad_input.item(n);
+    for (std::size_t u = 0; u < units_; ++u) {
+      const float g = gy[u];
+      bg[u] += g;
+      if (g == 0.0F) continue;
+      float* wg_row = wg + u * in_features_;
+      const float* w_row = w + u * in_features_;
+      for (std::size_t j = 0; j < in_features_; ++j) {
+        wg_row[j] += g * x[j];
+        gx[j] += g * w_row[j];
+      }
+    }
+  }
+}
+
+std::vector<Parameter*> DenseLayer::parameters() { return {&weights_, &bias_}; }
+
+void DenseLayer::initialize(stats::Rng& rng) {
+  xavier_uniform(weights_.value, in_features_, units_, rng);
+  constant_fill(bias_.value, 0.0F);
+  weights_.gradient.fill(0.0F);
+  bias_.gradient.fill(0.0F);
+}
+
+}  // namespace hp::nn

@@ -1,0 +1,38 @@
+#pragma once
+// Fully connected (inner-product) layer. The paper varies the number of
+// units of each FC layer between 200 and 700.
+
+#include "nn/layers.hpp"
+
+namespace hp::nn {
+
+/// y = W x + b over the flattened per-item input. Output shape is
+/// {n, units, 1, 1}.
+class DenseLayer final : public Layer {
+ public:
+  /// @param in_features flattened input feature count (> 0).
+  /// @param units output unit count (> 0).
+  DenseLayer(std::size_t in_features, std::size_t units);
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  [[nodiscard]] std::vector<Parameter*> parameters() override;
+  void initialize(stats::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "dense"; }
+  [[nodiscard]] std::size_t forward_macs(const Shape& input) const override;
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_features_; }
+  [[nodiscard]] std::size_t units() const noexcept { return units_; }
+
+ private:
+  void check_input(const Shape& input) const;
+
+  std::size_t in_features_;
+  std::size_t units_;
+  Parameter weights_;  ///< shape {units, in_features, 1, 1}
+  Parameter bias_;     ///< shape {1, units, 1, 1}
+};
+
+}  // namespace hp::nn

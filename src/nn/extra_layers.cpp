@@ -1,0 +1,173 @@
+#include "nn/extra_layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::nn {
+
+AvgPoolLayer::AvgPoolLayer(std::size_t kernel_size)
+    : kernel_size_(kernel_size) {
+  if (kernel_size == 0) {
+    throw std::invalid_argument("AvgPoolLayer: kernel size must be > 0");
+  }
+}
+
+Shape AvgPoolLayer::output_shape(const Shape& input) const {
+  if (input.h < kernel_size_ || input.w < kernel_size_) {
+    throw std::invalid_argument("AvgPoolLayer: input smaller than window");
+  }
+  return {input.n, input.c, input.h / kernel_size_, input.w / kernel_size_};
+}
+
+void AvgPoolLayer::forward(const Tensor& input, Tensor& output) {
+  const Shape out_shape = output_shape(input.shape());
+  if (output.shape() != out_shape) output.reshape(out_shape);
+  const Shape& in_shape = input.shape();
+  const float inv =
+      1.0F / static_cast<float>(kernel_size_ * kernel_size_);
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < out_shape.n; ++n) {
+    for (std::size_t c = 0; c < out_shape.c; ++c) {
+      const float* plane =
+          input.data() + (n * in_shape.c + c) * in_shape.h * in_shape.w;
+      for (std::size_t oh = 0; oh < out_shape.h; ++oh) {
+        for (std::size_t ow = 0; ow < out_shape.w; ++ow, ++out_idx) {
+          float acc = 0.0F;
+          for (std::size_t kh = 0; kh < kernel_size_; ++kh) {
+            for (std::size_t kw = 0; kw < kernel_size_; ++kw) {
+              acc += plane[(oh * kernel_size_ + kh) * in_shape.w +
+                           ow * kernel_size_ + kw];
+            }
+          }
+          output.data()[out_idx] = acc * inv;
+        }
+      }
+    }
+  }
+}
+
+void AvgPoolLayer::backward(const Tensor& input, const Tensor& grad_output,
+                            Tensor& grad_input) {
+  const Shape out_shape = output_shape(input.shape());
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("AvgPoolLayer::backward: grad shape mismatch");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  grad_input.fill(0.0F);
+  const Shape& in_shape = input.shape();
+  const float inv =
+      1.0F / static_cast<float>(kernel_size_ * kernel_size_);
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < out_shape.n; ++n) {
+    for (std::size_t c = 0; c < out_shape.c; ++c) {
+      float* plane =
+          grad_input.data() + (n * in_shape.c + c) * in_shape.h * in_shape.w;
+      for (std::size_t oh = 0; oh < out_shape.h; ++oh) {
+        for (std::size_t ow = 0; ow < out_shape.w; ++ow, ++out_idx) {
+          const float g = grad_output.data()[out_idx] * inv;
+          for (std::size_t kh = 0; kh < kernel_size_; ++kh) {
+            for (std::size_t kw = 0; kw < kernel_size_; ++kw) {
+              plane[(oh * kernel_size_ + kh) * in_shape.w +
+                    ow * kernel_size_ + kw] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+DropoutLayer::DropoutLayer(double drop_probability) : p_(drop_probability) {
+  if (p_ < 0.0 || p_ >= 1.0) {
+    throw std::invalid_argument("DropoutLayer: p must be in [0, 1)");
+  }
+}
+
+Shape DropoutLayer::output_shape(const Shape& input) const { return input; }
+
+void DropoutLayer::initialize(stats::Rng& rng) {
+  rng_ = rng.child(0x0d120u);
+}
+
+void DropoutLayer::forward(const Tensor& input, Tensor& output) {
+  if (output.shape() != input.shape()) output.reshape(input.shape());
+  const auto in = input.flat();
+  auto out = output.flat();
+  if (!training_ || p_ == 0.0) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+    mask_.assign(in.size(), 1.0F);
+    return;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    mask_[i] = rng_.bernoulli(p_) ? 0.0F : keep_scale;
+    out[i] = in[i] * mask_[i];
+  }
+}
+
+void DropoutLayer::backward(const Tensor& input, const Tensor& grad_output,
+                            Tensor& grad_input) {
+  if (grad_output.shape() != input.shape()) {
+    throw std::invalid_argument("DropoutLayer::backward: shape mismatch");
+  }
+  if (mask_.size() != input.size()) {
+    throw std::logic_error("DropoutLayer::backward before forward");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  const auto go = grad_output.flat();
+  auto gi = grad_input.flat();
+  for (std::size_t i = 0; i < go.size(); ++i) gi[i] = go[i] * mask_[i];
+}
+
+Shape SigmoidLayer::output_shape(const Shape& input) const { return input; }
+
+void SigmoidLayer::forward(const Tensor& input, Tensor& output) {
+  if (output.shape() != input.shape()) output.reshape(input.shape());
+  const auto in = input.flat();
+  auto out = output.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = 1.0F / (1.0F + std::exp(-in[i]));
+  }
+  cached_output_ = output;
+}
+
+void SigmoidLayer::backward(const Tensor& input, const Tensor& grad_output,
+                            Tensor& grad_input) {
+  if (cached_output_.shape() != input.shape()) {
+    throw std::logic_error("SigmoidLayer::backward before forward");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  const auto go = grad_output.flat();
+  const auto y = cached_output_.flat();
+  auto gi = grad_input.flat();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[i] = go[i] * y[i] * (1.0F - y[i]);
+  }
+}
+
+Shape TanhLayer::output_shape(const Shape& input) const { return input; }
+
+void TanhLayer::forward(const Tensor& input, Tensor& output) {
+  if (output.shape() != input.shape()) output.reshape(input.shape());
+  const auto in = input.flat();
+  auto out = output.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+  cached_output_ = output;
+}
+
+void TanhLayer::backward(const Tensor& input, const Tensor& grad_output,
+                         Tensor& grad_input) {
+  if (cached_output_.shape() != input.shape()) {
+    throw std::logic_error("TanhLayer::backward before forward");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  const auto go = grad_output.flat();
+  const auto y = cached_output_.flat();
+  auto gi = grad_input.flat();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[i] = go[i] * (1.0F - y[i] * y[i]);
+  }
+}
+
+}  // namespace hp::nn

@@ -1,0 +1,83 @@
+#pragma once
+// Additional layers completing the NN substrate beyond the paper's search
+// space: average pooling, dropout (train/inference modes), sigmoid and
+// tanh activations. These make the substrate usable as a general small-CNN
+// library; none of them change the AlexNet-variant spaces the benches use.
+
+#include "nn/layers.hpp"
+
+namespace hp::nn {
+
+/// Non-overlapping average pooling with square window and stride == window,
+/// floor semantics like MaxPoolLayer.
+class AvgPoolLayer final : public Layer {
+ public:
+  explicit AvgPoolLayer(std::size_t kernel_size);
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  [[nodiscard]] std::string name() const override { return "avgpool"; }
+
+  [[nodiscard]] std::size_t kernel_size() const noexcept { return kernel_size_; }
+
+ private:
+  std::size_t kernel_size_;
+};
+
+/// Inverted dropout: at training time each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); at inference time the
+/// layer is the identity. The mask is redrawn on every forward pass from
+/// the layer's own deterministic stream (reseeded at initialize()).
+class DropoutLayer final : public Layer {
+ public:
+  /// @param drop_probability in [0, 1).
+  explicit DropoutLayer(double drop_probability);
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  void initialize(stats::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "dropout"; }
+
+  /// Switches between training (masking) and inference (identity) mode.
+  void set_training(bool training) noexcept { training_ = training; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+  [[nodiscard]] double drop_probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+  bool training_ = true;
+  stats::Rng rng_{0xd20b0a7ULL};
+  std::vector<float> mask_;
+};
+
+/// Element-wise logistic sigmoid.
+class SigmoidLayer final : public Layer {
+ public:
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Element-wise hyperbolic tangent.
+class TanhLayer final : public Layer {
+ public:
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace hp::nn

@@ -1,0 +1,119 @@
+#include "nn/idx_loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hp::nn {
+
+namespace {
+
+constexpr std::uint32_t kImageMagic = 0x00000803;
+constexpr std::uint32_t kLabelMagic = 0x00000801;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("idx loader: " + what);
+}
+
+std::uint32_t read_be32(std::istream& is) {
+  unsigned char bytes[4];
+  is.read(reinterpret_cast<char*>(bytes), 4);
+  if (!is) fail("truncated header");
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+void write_be32(std::ostream& os, std::uint32_t value) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(value >> 24),
+      static_cast<unsigned char>(value >> 16),
+      static_cast<unsigned char>(value >> 8),
+      static_cast<unsigned char>(value)};
+  os.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+}  // namespace
+
+Tensor load_idx_images(std::istream& is) {
+  if (read_be32(is) != kImageMagic) fail("bad image magic");
+  const std::uint32_t count = read_be32(is);
+  const std::uint32_t rows = read_be32(is);
+  const std::uint32_t cols = read_be32(is);
+  if (count == 0 || rows == 0 || cols == 0) fail("empty image file");
+  if (static_cast<std::uint64_t>(count) * rows * cols > (1ull << 32)) {
+    fail("implausibly large image file");
+  }
+  Tensor images({count, 1, rows, cols});
+  std::vector<unsigned char> buffer(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t n = 0; n < count; ++n) {
+    is.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+    if (!is) fail("truncated pixel data");
+    float* dst = images.item(n);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      dst[i] = static_cast<float>(buffer[i]) / 255.0F;
+    }
+  }
+  return images;
+}
+
+std::vector<std::uint8_t> load_idx_labels(std::istream& is) {
+  if (read_be32(is) != kLabelMagic) fail("bad label magic");
+  const std::uint32_t count = read_be32(is);
+  if (count == 0) fail("empty label file");
+  std::vector<std::uint8_t> labels(count);
+  is.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(labels.size()));
+  if (!is) fail("truncated label data");
+  return labels;
+}
+
+Dataset load_idx_dataset(const std::string& images_path,
+                         const std::string& labels_path) {
+  std::ifstream images_file(images_path, std::ios::binary);
+  if (!images_file) fail("cannot open '" + images_path + "'");
+  std::ifstream labels_file(labels_path, std::ios::binary);
+  if (!labels_file) fail("cannot open '" + labels_path + "'");
+  Tensor images = load_idx_images(images_file);
+  std::vector<std::uint8_t> labels = load_idx_labels(labels_file);
+  if (images.shape().n != labels.size()) {
+    fail("image/label count mismatch");
+  }
+  return Dataset(std::move(images), std::move(labels));
+}
+
+void save_idx_images(const Tensor& images, std::ostream& os) {
+  const Shape& s = images.shape();
+  if (s.c != 1) fail("save_idx_images: only 1-channel images supported");
+  write_be32(os, kImageMagic);
+  write_be32(os, static_cast<std::uint32_t>(s.n));
+  write_be32(os, static_cast<std::uint32_t>(s.h));
+  write_be32(os, static_cast<std::uint32_t>(s.w));
+  std::vector<unsigned char> buffer(s.h * s.w);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* src = images.item(n);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      const float clamped = std::clamp(src[i], 0.0F, 1.0F);
+      buffer[i] = static_cast<unsigned char>(std::lround(clamped * 255.0F));
+    }
+    os.write(reinterpret_cast<const char*>(buffer.data()),
+             static_cast<std::streamsize>(buffer.size()));
+  }
+  if (!os) fail("image write failed");
+}
+
+void save_idx_labels(const std::vector<std::uint8_t>& labels,
+                     std::ostream& os) {
+  write_be32(os, kLabelMagic);
+  write_be32(os, static_cast<std::uint32_t>(labels.size()));
+  os.write(reinterpret_cast<const char*>(labels.data()),
+           static_cast<std::streamsize>(labels.size()));
+  if (!os) fail("label write failed");
+}
+
+}  // namespace hp::nn

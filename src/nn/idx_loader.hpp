@@ -1,0 +1,38 @@
+#pragma once
+// Loader for the IDX binary format used by the original MNIST distribution
+// (big-endian magic + dimension sizes, then raw uint8 payload). Lets users
+// who have the real MNIST files run the nn substrate on them instead of
+// the synthetic stand-ins; the repository ships no data.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hpp"
+
+namespace hp::nn {
+
+/// Parses an IDX3 image file (magic 0x00000803): N x rows x cols uint8
+/// pixels, normalized to [0,1] floats in a {N,1,rows,cols} tensor.
+/// Throws std::runtime_error on bad magic/truncation.
+[[nodiscard]] Tensor load_idx_images(std::istream& is);
+
+/// Parses an IDX1 label file (magic 0x00000801): N uint8 labels.
+[[nodiscard]] std::vector<std::uint8_t> load_idx_labels(std::istream& is);
+
+/// Loads an image/label file pair into a Dataset; throws std::runtime_error
+/// if the counts disagree or a file cannot be opened.
+[[nodiscard]] Dataset load_idx_dataset(const std::string& images_path,
+                                       const std::string& labels_path);
+
+/// Writes a tensor of {N,1,H,W} grayscale images as IDX3 (for tests and
+/// for exporting synthetic data to other tools). Pixels are clamped to
+/// [0,1] and quantized to uint8.
+void save_idx_images(const Tensor& images, std::ostream& os);
+
+/// Writes labels as IDX1.
+void save_idx_labels(const std::vector<std::uint8_t>& labels,
+                     std::ostream& os);
+
+}  // namespace hp::nn

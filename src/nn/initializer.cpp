@@ -1,0 +1,29 @@
+#include "nn/initializer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::nn {
+
+void xavier_uniform(Tensor& weights, std::size_t fan_in, std::size_t fan_out,
+                    stats::Rng& rng) {
+  if (fan_in + fan_out == 0) {
+    throw std::invalid_argument("xavier_uniform: zero fan");
+  }
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& x : weights.flat()) {
+    x = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+void he_normal(Tensor& weights, std::size_t fan_in, stats::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("he_normal: zero fan_in");
+  const double sd = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& x : weights.flat()) {
+    x = static_cast<float>(rng.gaussian(0.0, sd));
+  }
+}
+
+void constant_fill(Tensor& t, float value) { t.fill(value); }
+
+}  // namespace hp::nn

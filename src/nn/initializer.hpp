@@ -1,0 +1,19 @@
+#pragma once
+// Weight initialization schemes for the NN substrate.
+
+#include "nn/tensor.hpp"
+#include "stats/rng.hpp"
+
+namespace hp::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& weights, std::size_t fan_in, std::size_t fan_out,
+                    stats::Rng& rng);
+
+/// He normal: N(0, sqrt(2 / fan_in)); preferred ahead of ReLU layers.
+void he_normal(Tensor& weights, std::size_t fan_in, stats::Rng& rng);
+
+/// Constant fill (e.g. zero biases).
+void constant_fill(Tensor& t, float value);
+
+}  // namespace hp::nn

@@ -1,0 +1,75 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hp::nn {
+
+MaxPoolLayer::MaxPoolLayer(std::size_t kernel_size)
+    : kernel_size_(kernel_size) {
+  if (kernel_size == 0) {
+    throw std::invalid_argument("MaxPoolLayer: kernel size must be > 0");
+  }
+}
+
+Shape MaxPoolLayer::output_shape(const Shape& input) const {
+  if (input.h < kernel_size_ || input.w < kernel_size_) {
+    throw std::invalid_argument("MaxPoolLayer: input smaller than window");
+  }
+  return {input.n, input.c, input.h / kernel_size_, input.w / kernel_size_};
+}
+
+void MaxPoolLayer::forward(const Tensor& input, Tensor& output) {
+  const Shape out_shape = output_shape(input.shape());
+  if (output.shape() != out_shape) output.reshape(out_shape);
+  argmax_.assign(out_shape.count(), 0);
+
+  const Shape& in_shape = input.shape();
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < out_shape.n; ++n) {
+    for (std::size_t c = 0; c < out_shape.c; ++c) {
+      const float* plane =
+          input.data() + (n * in_shape.c + c) * in_shape.h * in_shape.w;
+      for (std::size_t oh = 0; oh < out_shape.h; ++oh) {
+        for (std::size_t ow = 0; ow < out_shape.w; ++ow, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t kh = 0; kh < kernel_size_; ++kh) {
+            for (std::size_t kw = 0; kw < kernel_size_; ++kw) {
+              const std::size_t ih = oh * kernel_size_ + kh;
+              const std::size_t iw = ow * kernel_size_ + kw;
+              const std::size_t idx = ih * in_shape.w + iw;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          output.data()[out_idx] = best;
+          // Store the absolute input offset so backward is a flat scatter.
+          argmax_[out_idx] =
+              (n * in_shape.c + c) * in_shape.h * in_shape.w + best_idx;
+        }
+      }
+    }
+  }
+}
+
+void MaxPoolLayer::backward(const Tensor& input, const Tensor& grad_output,
+                            Tensor& grad_input) {
+  const Shape out_shape = output_shape(input.shape());
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("MaxPoolLayer::backward: grad shape mismatch");
+  }
+  if (argmax_.size() != out_shape.count()) {
+    throw std::logic_error("MaxPoolLayer::backward before forward");
+  }
+  if (grad_input.shape() != input.shape()) grad_input.reshape(input.shape());
+  grad_input.fill(0.0F);
+  const auto go = grad_output.flat();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    grad_input.data()[argmax_[i]] += go[i];
+  }
+}
+
+}  // namespace hp::nn

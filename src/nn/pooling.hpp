@@ -1,0 +1,30 @@
+#pragma once
+// Max pooling. The paper's hyper-parameter space varies the pooling kernel
+// size (1-3); kernel size 1 degenerates to identity, which we support so
+// the optimizer can effectively disable a pooling stage.
+
+#include "nn/layers.hpp"
+
+namespace hp::nn {
+
+/// Non-overlapping max pooling with square window and stride == window.
+/// Trailing rows/columns that do not fill a complete window are dropped
+/// (floor semantics, as in Caffe with default rounding for stride==kernel).
+class MaxPoolLayer final : public Layer {
+ public:
+  explicit MaxPoolLayer(std::size_t kernel_size);
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  [[nodiscard]] std::string name() const override { return "maxpool"; }
+
+  [[nodiscard]] std::size_t kernel_size() const noexcept { return kernel_size_; }
+
+ private:
+  std::size_t kernel_size_;
+  std::vector<std::size_t> argmax_;  ///< winner index per output element
+};
+
+}  // namespace hp::nn

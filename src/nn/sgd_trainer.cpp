@@ -1,0 +1,122 @@
+#include "nn/sgd_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::nn {
+
+SgdTrainer::SgdTrainer(TrainingConfig config) : config_(config) {
+  if (config_.learning_rate <= 0.0) {
+    throw std::invalid_argument("SgdTrainer: learning rate must be > 0");
+  }
+  if (config_.momentum < 0.0 || config_.momentum >= 1.0) {
+    throw std::invalid_argument("SgdTrainer: momentum must be in [0,1)");
+  }
+  if (config_.weight_decay < 0.0) {
+    throw std::invalid_argument("SgdTrainer: weight decay must be >= 0");
+  }
+  if (config_.batch_size == 0 || config_.epochs == 0) {
+    throw std::invalid_argument("SgdTrainer: batch size and epochs must be > 0");
+  }
+}
+
+void SgdTrainer::apply_update(Network& net) {
+  const auto params = net.parameters();
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const Parameter* p : params) {
+      velocity_.emplace_back(p->value.shape());
+    }
+  }
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto mu = static_cast<float>(config_.momentum);
+  const auto wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    auto v = velocity_[i].flat();
+    auto w = p.value.flat();
+    const auto g = p.gradient.flat();
+    const float decay = p.decay ? wd : 0.0F;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      v[j] = mu * v[j] - lr * (g[j] + decay * w[j]);
+      w[j] += v[j];
+    }
+  }
+}
+
+TrainingResult SgdTrainer::train(Network& net, const Dataset& train,
+                                 const Dataset& test,
+                                 const EpochCallback& on_epoch) {
+  if (train.size() == 0 || test.size() == 0) {
+    throw std::invalid_argument("SgdTrainer::train: empty dataset");
+  }
+  stats::Rng rng(config_.seed);
+  TrainingResult result;
+  Tensor batch;
+  std::vector<std::uint8_t> batch_labels;
+  Tensor test_batch;
+  std::vector<std::uint8_t> test_labels;
+
+  // Pre-gather the full test set once (sizes here are small by design).
+  std::vector<std::size_t> test_indices(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) test_indices[i] = i;
+  test.gather(test_indices, test_batch, test_labels);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(train.size());
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    bool diverged = false;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      const std::span<const std::size_t> idx(order.data() + start, end - start);
+      train.gather(idx, batch, batch_labels);
+      net.zero_gradients();
+      const double loss = net.forward(batch, batch_labels);
+      if (!std::isfinite(loss)) {
+        diverged = true;
+        break;
+      }
+      net.backward(batch, batch_labels);
+      apply_update(net);
+      loss_sum += loss;
+      ++batches;
+    }
+
+    EpochReport report;
+    report.epoch = epoch;
+    report.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches)
+                                    : std::numeric_limits<double>::infinity();
+    if (!diverged) {
+      for (const Parameter* p : net.parameters()) {
+        if (p->value.has_non_finite()) {
+          diverged = true;
+          break;
+        }
+      }
+    }
+    report.diverged = diverged;
+    report.test_error =
+        diverged ? 1.0 : net.evaluate_error(test_batch, test_labels);
+    result.epochs.push_back(report);
+    result.final_test_error = report.test_error;
+
+    if (diverged) {
+      result.diverged = true;
+      break;
+    }
+    if (on_epoch && !on_epoch(report)) {
+      result.early_stopped = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hp::nn

@@ -1,0 +1,66 @@
+#pragma once
+// Mini-batch SGD trainer with momentum and weight decay — the training
+// hyper-parameters the paper tunes (learning rate 0.001-0.1, momentum
+// 0.8-0.95, weight decay 0.0001-0.01) map 1:1 onto TrainingConfig. The
+// trainer reports per-epoch test error so the HyperPower early-termination
+// rule (Section 3.2) can abort diverging candidates.
+
+#include <functional>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace hp::nn {
+
+/// Training hyper-parameters (the non-structural part of the paper's x).
+struct TrainingConfig {
+  double learning_rate = 0.01;  ///< paper range 0.001-0.1
+  double momentum = 0.9;        ///< paper range 0.8-0.95
+  double weight_decay = 0.001;  ///< paper range 0.0001-0.01
+  std::size_t batch_size = 32;
+  std::size_t epochs = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one epoch, passed to the progress callback.
+struct EpochReport {
+  std::size_t epoch = 0;       ///< 0-based
+  double train_loss = 0.0;     ///< mean CE loss over the epoch
+  double test_error = 0.0;     ///< classification error on the test split
+  bool diverged = false;       ///< non-finite loss/weights detected
+};
+
+/// Outcome of a full training run.
+struct TrainingResult {
+  std::vector<EpochReport> epochs;
+  double final_test_error = 1.0;
+  bool diverged = false;
+  bool early_stopped = false;  ///< the callback requested termination
+};
+
+/// Progress callback: return false to stop training (early termination).
+using EpochCallback = std::function<bool(const EpochReport&)>;
+
+/// Mini-batch SGD with classical momentum:
+///   v <- mu * v - lr * (grad + wd * w);  w <- w + v.
+class SgdTrainer {
+ public:
+  explicit SgdTrainer(TrainingConfig config);
+
+  /// Trains @p net on @p train, evaluating on @p test after each epoch.
+  /// The callback (optional) can stop training early. Detects divergence
+  /// (non-finite loss or weights) and stops immediately when it occurs.
+  TrainingResult train(Network& net, const Dataset& train, const Dataset& test,
+                       const EpochCallback& on_epoch = {});
+
+  [[nodiscard]] const TrainingConfig& config() const noexcept { return config_; }
+
+ private:
+  void apply_update(Network& net);
+
+  TrainingConfig config_;
+  std::vector<Tensor> velocity_;  ///< one per parameter blob
+};
+
+}  // namespace hp::nn

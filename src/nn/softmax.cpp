@@ -1,0 +1,87 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::nn {
+
+SoftmaxCrossEntropy::SoftmaxCrossEntropy(std::size_t num_classes)
+    : num_classes_(num_classes) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: need >= 2 classes");
+  }
+}
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const std::uint8_t> labels,
+                                    Tensor& probabilities) const {
+  const Shape& s = logits.shape();
+  if (s.per_item() != num_classes_) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits size mismatch");
+  }
+  if (labels.size() != s.n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  if (probabilities.shape() != s) probabilities.reshape(s);
+
+  double loss = 0.0;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    if (labels[n] >= num_classes_) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    const float* z = logits.item(n);
+    float* p = probabilities.item(n);
+    const float zmax = *std::max_element(z, z + num_classes_);
+    double denom = 0.0;
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      const double e = std::exp(static_cast<double>(z[k] - zmax));
+      p[k] = static_cast<float>(e);
+      denom += e;
+    }
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      p[k] = static_cast<float>(static_cast<double>(p[k]) / denom);
+    }
+    const double p_true =
+        std::max(static_cast<double>(p[labels[n]]), 1e-12);
+    loss -= std::log(p_true);
+  }
+  return loss / static_cast<double>(s.n);
+}
+
+void SoftmaxCrossEntropy::backward(const Tensor& probabilities,
+                                   std::span<const std::uint8_t> labels,
+                                   Tensor& grad_logits) const {
+  const Shape& s = probabilities.shape();
+  if (s.per_item() != num_classes_ || labels.size() != s.n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy::backward: shape mismatch");
+  }
+  if (grad_logits.shape() != s) grad_logits.reshape(s);
+  const float inv_batch = 1.0F / static_cast<float>(s.n);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* p = probabilities.item(n);
+    float* g = grad_logits.item(n);
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      g[k] = (p[k] - (k == labels[n] ? 1.0F : 0.0F)) * inv_batch;
+    }
+  }
+}
+
+double SoftmaxCrossEntropy::accuracy(const Tensor& probabilities,
+                                     std::span<const std::uint8_t> labels) {
+  const Shape& s = probabilities.shape();
+  if (labels.size() != s.n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy::accuracy: size mismatch");
+  }
+  if (s.n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* p = probabilities.item(n);
+    const auto arg = static_cast<std::size_t>(
+        std::max_element(p, p + s.per_item()) - p);
+    if (arg == labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(s.n);
+}
+
+}  // namespace hp::nn

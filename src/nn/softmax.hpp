@@ -1,0 +1,42 @@
+#pragma once
+// Softmax + cross-entropy loss head (fused, as in Caffe's
+// SoftmaxWithLossLayer, for numerical stability of the combined gradient).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace hp::nn {
+
+/// Fused softmax-cross-entropy. Operates on logits of shape
+/// {n, num_classes, 1, 1} and integer class labels.
+class SoftmaxCrossEntropy {
+ public:
+  explicit SoftmaxCrossEntropy(std::size_t num_classes);
+
+  /// Computes class probabilities into @p probabilities and returns the
+  /// mean cross-entropy loss over the batch. Throws std::invalid_argument
+  /// on shape/label problems.
+  [[nodiscard]] double forward(const Tensor& logits,
+                               std::span<const std::uint8_t> labels,
+                               Tensor& probabilities) const;
+
+  /// d(loss)/d(logits) = (p - onehot) / batch, using the probabilities
+  /// produced by forward().
+  void backward(const Tensor& probabilities,
+                std::span<const std::uint8_t> labels,
+                Tensor& grad_logits) const;
+
+  /// Fraction of batch items whose argmax probability matches the label.
+  [[nodiscard]] static double accuracy(const Tensor& probabilities,
+                                       std::span<const std::uint8_t> labels);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  std::size_t num_classes_;
+};
+
+}  // namespace hp::nn

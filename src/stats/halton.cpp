@@ -1,0 +1,72 @@
+#include "stats/halton.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace hp::stats {
+
+namespace {
+constexpr std::uint32_t kPrimes[32] = {
+    2,  3,  5,  7,  11, 13, 17, 19, 23, 29,  31,  37,  41,  43,  47,  53,
+    59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131};
+}
+
+HaltonSequence::HaltonSequence(std::size_t dimensions, std::uint64_t seed)
+    : dims_(dimensions) {
+  if (dimensions == 0 || dimensions > 32) {
+    throw std::invalid_argument("HaltonSequence: dimensions must be in [1,32]");
+  }
+  Rng rng(seed);
+  bases_.assign(kPrimes, kPrimes + dims_);
+  permutations_.resize(dims_);
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const std::uint32_t base = bases_[d];
+    std::vector<std::uint32_t> perm(base);
+    std::iota(perm.begin(), perm.end(), 0u);
+    // Scramble non-zero digits only (keeping 0 fixed preserves the
+    // low-discrepancy property of the leading digits).
+    for (std::uint32_t i = base - 1; i > 1; --i) {
+      const auto j =
+          static_cast<std::uint32_t>(rng.uniform_int(1, static_cast<std::int64_t>(i)));
+      std::swap(perm[i], perm[j]);
+    }
+    permutations_[d] = std::move(perm);
+  }
+  index_ = 1;  // skip the all-zeros point
+}
+
+double HaltonSequence::radical_inverse(std::size_t dim,
+                                       std::uint64_t index) const {
+  const std::uint32_t base = bases_[dim];
+  const auto& perm = permutations_[dim];
+  double result = 0.0;
+  double inv_base = 1.0 / static_cast<double>(base);
+  double factor = inv_base;
+  while (index > 0) {
+    const auto digit = static_cast<std::uint32_t>(index % base);
+    result += static_cast<double>(perm[digit]) * factor;
+    index /= base;
+    factor *= inv_base;
+  }
+  return result;
+}
+
+std::vector<double> HaltonSequence::next() {
+  std::vector<double> point(dims_);
+  for (std::size_t d = 0; d < dims_; ++d) {
+    point[d] = radical_inverse(d, index_);
+  }
+  ++index_;
+  return point;
+}
+
+std::vector<std::vector<double>> HaltonSequence::take(std::size_t count) {
+  std::vector<std::vector<double>> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) points.push_back(next());
+  return points;
+}
+
+}  // namespace hp::stats

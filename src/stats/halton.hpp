@@ -1,0 +1,37 @@
+#pragma once
+// Scrambled Halton low-discrepancy sequence. Spearmint evaluates the
+// acquisition function on "a dense grid plus random candidates"; we use a
+// Halton lattice for the dense, space-filling part of that candidate set.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hp::stats {
+
+/// Generator of d-dimensional scrambled Halton points in [0,1)^d.
+class HaltonSequence {
+ public:
+  /// @param dimensions number of coordinates per point (>= 1, <= 32).
+  /// @param seed scrambling seed (digit permutation per base).
+  HaltonSequence(std::size_t dimensions, std::uint64_t seed);
+
+  /// Next point in the sequence.
+  [[nodiscard]] std::vector<double> next();
+
+  /// Convenience: generate @p count points.
+  [[nodiscard]] std::vector<std::vector<double>> take(std::size_t count);
+
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+
+ private:
+  [[nodiscard]] double radical_inverse(std::size_t dim,
+                                       std::uint64_t index) const;
+
+  std::size_t dims_;
+  std::uint64_t index_ = 0;
+  std::vector<std::uint32_t> bases_;
+  std::vector<std::vector<std::uint32_t>> permutations_;  ///< per-base digit maps
+};
+
+}  // namespace hp::stats

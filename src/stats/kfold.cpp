@@ -1,0 +1,34 @@
+#include "stats/kfold.hpp"
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace hp::stats {
+
+std::vector<Fold> kfold_splits(std::size_t n, std::size_t k,
+                               std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("kfold_splits: k must be >= 2");
+  if (k > n) throw std::invalid_argument("kfold_splits: k must be <= n");
+  Rng rng(seed);
+  const std::vector<std::size_t> order = rng.permutation(n);
+
+  std::vector<Fold> folds(k);
+  // Distribute samples round-robin so fold sizes differ by at most one.
+  std::vector<std::size_t> fold_of(n);
+  for (std::size_t i = 0; i < n; ++i) fold_of[i] = i % k;
+
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t sample = order[i];
+      if (fold_of[i] == f) {
+        folds[f].validation_indices.push_back(sample);
+      } else {
+        folds[f].train_indices.push_back(sample);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace hp::stats

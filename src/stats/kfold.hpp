@@ -1,0 +1,24 @@
+#pragma once
+// K-fold cross-validation splitter. The paper trains its power/memory
+// models "by employing a 10-fold cross validation" on the profiled dataset;
+// this utility produces the deterministic shuffled folds for that loop.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hp::stats {
+
+/// One train/validation split.
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> validation_indices;
+};
+
+/// Produces @p k folds over @p n samples, shuffled deterministically by
+/// @p seed. Fold sizes differ by at most one. Throws std::invalid_argument
+/// if k < 2 or k > n.
+[[nodiscard]] std::vector<Fold> kfold_splits(std::size_t n, std::size_t k,
+                                             std::uint64_t seed);
+
+}  // namespace hp::stats

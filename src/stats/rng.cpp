@@ -1,0 +1,63 @@
+#include "stats/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hp::stats {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::gaussian(double mean, double sd) {
+  if (sd < 0.0) throw std::invalid_argument("Rng::gaussian: negative sd");
+  if (sd == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sd)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
+  }
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::child(std::uint64_t stream_id) {
+  const std::uint64_t base = engine_();  // advance parent deterministically
+  return Rng(splitmix64(base ^ splitmix64(stream_id + 0x9e3779b97f4a7c15ULL)));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace hp::stats

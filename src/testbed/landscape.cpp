@@ -1,0 +1,170 @@
+#include "testbed/landscape.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace hp::testbed {
+
+LandscapeParams mnist_landscape() {
+  LandscapeParams p;
+  p.floor_error = 0.0078;
+  p.chance_error = 0.9;
+  p.capacity_coeff = 0.03;
+  p.capacity_midpoint = 4.4;
+  p.capacity_slope = 2.4;
+  p.overfit_coeff = 0.002;
+  p.lr_coeff = 0.018;
+  p.lr_opt_base = -1.8;
+  p.lr_opt_capacity_slope = -0.25;
+  p.momentum_coeff = 0.006;
+  p.wd_coeff = 0.003;
+  p.wd_opt_log10 = -3.2;
+  p.noise_sd = 0.0016;
+  p.divergence_threshold = -0.7;
+  p.divergence_jitter = 0.12;
+  p.total_epochs = 24;
+  p.convergence_epochs = 4.0;
+  return p;
+}
+
+LandscapeParams cifar10_landscape() {
+  LandscapeParams p;
+  p.floor_error = 0.205;
+  p.chance_error = 0.9;
+  p.capacity_coeff = 0.18;
+  p.capacity_midpoint = 4.4;
+  p.capacity_slope = 2.4;
+  p.overfit_coeff = 0.015;
+  p.lr_coeff = 0.055;
+  p.lr_opt_base = -1.6;
+  p.lr_opt_capacity_slope = -0.30;
+  p.momentum_coeff = 0.03;
+  p.wd_coeff = 0.012;
+  p.wd_opt_log10 = -3.0;
+  p.noise_sd = 0.008;
+  p.divergence_threshold = -0.7;
+  p.divergence_jitter = 0.12;
+  p.total_epochs = 32;
+  p.convergence_epochs = 8.0;
+  return p;
+}
+
+ErrorLandscape::ErrorLandscape(const core::BenchmarkProblem& problem,
+                               LandscapeParams params)
+    : problem_(problem), params_(params) {
+  if (params_.floor_error <= 0.0 || params_.floor_error >= params_.chance_error) {
+    throw std::invalid_argument(
+        "ErrorLandscape: need 0 < floor_error < chance_error");
+  }
+  if (params_.total_epochs == 0) {
+    throw std::invalid_argument("ErrorLandscape: total_epochs must be > 0");
+  }
+}
+
+double ErrorLandscape::config_noise(const core::Configuration& config,
+                                    std::uint64_t run_seed,
+                                    std::uint64_t stream) const {
+  std::uint64_t h = stats::splitmix64(run_seed ^ (stream * 0x9e3779b97f4a7c15ULL));
+  for (double v : config) {
+    h = stats::splitmix64(h ^ std::bit_cast<std::uint64_t>(v));
+  }
+  // Sum of 4 uniforms, standardized (matches hw cost-model noise scheme).
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = stats::splitmix64(h);
+    acc += static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  }
+  return (acc - 2.0) * std::sqrt(3.0);
+}
+
+double ErrorLandscape::log10_capacity(
+    const core::Configuration& config) const {
+  const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+  const nn::WorkloadSummary workload = nn::compute_workload(spec);
+  return std::log10(std::max<double>(
+      10.0, static_cast<double>(workload.total_weights)));
+}
+
+bool ErrorLandscape::diverges(const core::Configuration& config,
+                              std::uint64_t run_seed) const {
+  const auto settings = problem_.training_settings(config);
+  const double effective_lr =
+      settings.learning_rate / std::max(1e-6, 1.0 - settings.momentum);
+  const double jitter =
+      config_noise(config, run_seed, /*stream=*/11) * params_.divergence_jitter;
+  return std::log10(effective_lr) > params_.divergence_threshold + jitter;
+}
+
+double ErrorLandscape::final_error(const core::Configuration& config,
+                                   std::uint64_t run_seed) const {
+  if (diverges(config, run_seed)) {
+    // Chance-level error with a little hash wobble; never "accidentally
+    // good" (clamped above 80%).
+    const double wobble = config_noise(config, run_seed, 13) * 0.02;
+    return std::clamp(params_.chance_error + wobble, 0.8, 1.0);
+  }
+  const auto settings = problem_.training_settings(config);
+  const double capacity = log10_capacity(config);
+
+  // Capacity: logistic saturation — small nets pay up to capacity_coeff.
+  const double sat = 1.0 / (1.0 + std::exp(-params_.capacity_slope *
+                                           (capacity - params_.capacity_midpoint)));
+  double error = params_.floor_error + params_.capacity_coeff * (1.0 - sat);
+
+  // Mild overfit penalty past the sweet spot.
+  const double excess = capacity - (params_.capacity_midpoint + 1.0);
+  if (excess > 0.0) error += params_.overfit_coeff * excess * excess;
+
+  // Learning-rate tuning: quadratic in decades from the (capacity-
+  // dependent) optimum.
+  const double lr_opt = params_.lr_opt_base +
+                        params_.lr_opt_capacity_slope *
+                            (capacity - params_.capacity_midpoint);
+  const double lr_dist = std::log10(settings.learning_rate) - lr_opt;
+  error += params_.lr_coeff * lr_dist * lr_dist;
+
+  // Momentum and weight decay: smaller quadratic effects.
+  const double mom_dist = settings.momentum - 0.9;
+  error += params_.momentum_coeff * mom_dist * mom_dist / (0.05 * 0.05);
+
+  const double wd_dist = std::log10(settings.weight_decay) - params_.wd_opt_log10;
+  error += params_.wd_coeff * wd_dist * wd_dist;
+
+  // Training stochasticity.
+  error += config_noise(config, run_seed, 17) * params_.noise_sd;
+
+  return std::clamp(error, params_.floor_error * 0.85, params_.chance_error);
+}
+
+double ErrorLandscape::error_at_epoch(const core::Configuration& config,
+                                      std::size_t epoch,
+                                      std::uint64_t run_seed) const {
+  const double epoch_wobble =
+      config_noise(config, run_seed, 100 + epoch) * 0.01;
+  if (diverges(config, run_seed)) {
+    // Hovers at chance: exactly the signature the early-termination rule
+    // looks for after a couple of epochs.
+    return std::clamp(params_.chance_error + epoch_wobble, 0.82, 1.0);
+  }
+  const double final = final_error(config, run_seed);
+  const double progress =
+      std::exp(-static_cast<double>(epoch + 1) / params_.convergence_epochs);
+  double error = final + (params_.chance_error - final) * progress;
+  error += epoch_wobble * progress;  // early epochs are noisier
+  return std::clamp(error, params_.floor_error * 0.85, 1.0);
+}
+
+std::vector<double> ErrorLandscape::learning_curve(
+    const core::Configuration& config, std::uint64_t run_seed) const {
+  std::vector<double> curve(params_.total_epochs);
+  for (std::size_t e = 0; e < params_.total_epochs; ++e) {
+    curve[e] = error_at_epoch(config, e, run_seed);
+  }
+  return curve;
+}
+
+}  // namespace hp::testbed

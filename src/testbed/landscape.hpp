@@ -1,0 +1,103 @@
+#pragma once
+// Analytic test-error landscape: a calibrated stand-in for "train this
+// AlexNet variant with Caffe and report its test error". The landscape
+// preserves the structural properties the paper's optimization experiments
+// depend on:
+//  - a dataset-specific error floor (MNIST ~0.8%, CIFAR-10 ~21-22%);
+//  - capacity matters: undersized networks lose accuracy, with saturating
+//    returns (so the accuracy/power trade-off of Figure 1 emerges);
+//  - training hyper-parameters matter: the test error is quadratic in
+//    log-learning-rate distance from a capacity-dependent optimum, with
+//    smaller momentum/weight-decay effects;
+//  - a contiguous chunk of the space *diverges* (high effective learning
+//    rate lr/(1-momentum)), identifiable after a couple of epochs — the
+//    basis of the early-termination enhancement (Figure 3 right);
+//  - per-configuration training noise, deterministic in (config, run seed).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spaces.hpp"
+
+namespace hp::testbed {
+
+/// Dataset-level landscape parameters.
+struct LandscapeParams {
+  double floor_error = 0.008;    ///< best reachable error
+  double chance_error = 0.9;     ///< 10-class random guessing
+  double capacity_coeff = 0.03;  ///< penalty for undersized networks
+  double capacity_midpoint = 4.6;  ///< log10(weights) at half saturation
+  double capacity_slope = 2.2;   ///< saturation sharpness
+  double overfit_coeff = 0.004;  ///< mild penalty past the optimum capacity
+  double lr_coeff = 0.018;       ///< per-decade^2 learning-rate penalty
+  double lr_opt_base = -1.8;     ///< log10 of the optimal learning rate
+  double lr_opt_capacity_slope = -0.25;  ///< larger nets want smaller lr
+  double momentum_coeff = 0.01;  ///< (momentum - 0.9)^2 penalty scale
+  double wd_coeff = 0.004;       ///< per-decade^2 weight-decay penalty
+  double wd_opt_log10 = -3.0;
+  double noise_sd = 0.0025;      ///< run-to-run training noise (abs error)
+  /// Divergence rule: diverge when log10(lr / (1 - momentum)) exceeds this
+  /// (plus per-config jitter).
+  double divergence_threshold = -0.7;
+  double divergence_jitter = 0.12;
+  /// Epochs a full training takes (the unit of the learning curve).
+  std::size_t total_epochs = 24;
+  /// Learning-curve time constant, in epochs.
+  double convergence_epochs = 5.0;
+};
+
+/// MNIST-calibrated landscape (matches the error regime of Tables 2/5).
+[[nodiscard]] LandscapeParams mnist_landscape();
+/// CIFAR-10-calibrated landscape.
+[[nodiscard]] LandscapeParams cifar10_landscape();
+
+/// Deterministic error landscape over a benchmark problem's space.
+class ErrorLandscape {
+ public:
+  ErrorLandscape(const core::BenchmarkProblem& problem,
+                 LandscapeParams params);
+
+  /// True if training this configuration diverges (never converges beyond
+  /// chance level).
+  [[nodiscard]] bool diverges(const core::Configuration& config,
+                              std::uint64_t run_seed) const;
+
+  /// Final test error after full training (chance-level if diverging).
+  [[nodiscard]] double final_error(const core::Configuration& config,
+                                   std::uint64_t run_seed) const;
+
+  /// Test error observed after @p epoch epochs (0-based; epoch >=
+  /// total_epochs-1 gives the final error). Converging runs decay
+  /// exponentially from chance to the final error; diverging runs hover at
+  /// chance level.
+  [[nodiscard]] double error_at_epoch(const core::Configuration& config,
+                                      std::size_t epoch,
+                                      std::uint64_t run_seed) const;
+
+  /// Full learning curve over total_epochs epochs (Figure 3 right).
+  [[nodiscard]] std::vector<double> learning_curve(
+      const core::Configuration& config, std::uint64_t run_seed) const;
+
+  /// log10 of the total learnable-parameter count of the configuration's
+  /// architecture (the capacity measure used internally; exposed for
+  /// diagnostics and tests).
+  [[nodiscard]] double log10_capacity(const core::Configuration& config) const;
+
+  [[nodiscard]] const LandscapeParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const core::BenchmarkProblem& problem() const noexcept {
+    return problem_;
+  }
+
+ private:
+  /// Deterministic per-(config, run, stream) standard-normal-ish deviate.
+  [[nodiscard]] double config_noise(const core::Configuration& config,
+                                    std::uint64_t run_seed,
+                                    std::uint64_t stream) const;
+
+  const core::BenchmarkProblem& problem_;
+  LandscapeParams params_;
+};
+
+}  // namespace hp::testbed

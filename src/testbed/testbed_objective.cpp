@@ -1,0 +1,139 @@
+#include "testbed/testbed_objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::testbed {
+
+TestbedOptions calibrated_options(const std::string& problem_name,
+                                  const hw::DeviceSpec& device) {
+  TestbedOptions opt;
+  const bool embedded = !device.supports_memory_query;  // Tegra-class
+  if (problem_name == "mnist" || problem_name == "tiny_mnist") {
+    opt.base_training_time_s = embedded ? 360.0 : 320.0;
+  } else {
+    opt.base_training_time_s = embedded ? 850.0 : 750.0;
+  }
+  opt.workload_time_floor = 0.3;
+  opt.measurement_time_s = embedded ? 25.0 : 18.0;
+  return opt;
+}
+
+TestbedObjective::TestbedObjective(const core::BenchmarkProblem& problem,
+                                   LandscapeParams landscape_params,
+                                   hw::DeviceSpec device,
+                                   TestbedOptions options)
+    : problem_(problem),
+      landscape_(problem, landscape_params),
+      simulator_(std::move(device), options.sensor_seed),
+      options_(options) {
+  if (options_.base_training_time_s <= 0.0) {
+    throw std::invalid_argument(
+        "TestbedObjective: base training time must be > 0");
+  }
+  // Estimate the reference (median) workload by deterministic sampling.
+  stats::Rng rng(options_.run_seed ^ 0xabcdef1234567890ULL);
+  std::vector<double> macs;
+  macs.reserve(options_.reference_sample_count);
+  for (std::size_t i = 0; i < options_.reference_sample_count; ++i) {
+    const core::Configuration config = problem_.space().sample(rng);
+    const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+    if (!nn::is_feasible(spec)) continue;
+    macs.push_back(static_cast<double>(nn::compute_workload(spec).total_macs));
+  }
+  if (macs.empty()) {
+    throw std::invalid_argument(
+        "TestbedObjective: no feasible configuration found in space");
+  }
+  std::nth_element(macs.begin(), macs.begin() + macs.size() / 2, macs.end());
+  reference_macs_ = std::max(1.0, macs[macs.size() / 2]);
+}
+
+double TestbedObjective::training_time_s(
+    const core::Configuration& config) const {
+  const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+  const nn::WorkloadSummary workload = nn::compute_workload(spec);
+  const double rel = std::min(
+      static_cast<double>(workload.total_macs) / reference_macs_,
+      options_.workload_time_cap);
+  const double factor =
+      options_.workload_time_floor + (1.0 - options_.workload_time_floor) * rel;
+  return options_.base_training_time_s * factor;
+}
+
+TestbedObjective::Measurement TestbedObjective::measure(
+    const core::Configuration& config) {
+  const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+  simulator_.load_model(spec);
+  simulator_.set_inference_active(true);
+  double power_sum = 0.0;
+  for (std::size_t i = 0; i < options_.power_readings; ++i) {
+    power_sum += simulator_.read_power_w();
+  }
+  Measurement m;
+  m.power_w = power_sum / static_cast<double>(options_.power_readings);
+  if (const auto info = simulator_.memory_info()) {
+    m.memory_mb = info->used_mb;
+  }
+  simulator_.set_inference_active(false);
+  simulator_.unload_model();
+  return m;
+}
+
+core::EvaluationRecord TestbedObjective::evaluate(
+    const core::Configuration& config,
+    const core::EarlyTerminationRule* early_termination) {
+  core::EvaluationRecord record;
+  record.config = config;
+
+  const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+  if (!nn::is_feasible(spec)) {
+    record.status = core::EvaluationStatus::InfeasibleArchitecture;
+    record.test_error = 1.0;
+    record.cost_s = options_.infeasible_arch_time_s;
+    clock_.advance(record.cost_s);
+    return record;
+  }
+
+  const double full_time = training_time_s(config);
+  const std::size_t total_epochs = landscape_.params().total_epochs;
+  const bool diverges = landscape_.diverges(config, options_.run_seed);
+
+  if (early_termination != nullptr) {
+    // Walk the learning curve epoch by epoch, applying the rule exactly as
+    // the real trainer's epoch callback would.
+    for (std::size_t epoch = 0; epoch < total_epochs; ++epoch) {
+      const double err =
+          landscape_.error_at_epoch(config, epoch, options_.run_seed);
+      if (early_termination->should_terminate(epoch + 1, err)) {
+        record.status = core::EvaluationStatus::EarlyTerminated;
+        record.test_error = err;
+        record.diverged = diverges;
+        record.cost_s = full_time * static_cast<double>(epoch + 1) /
+                        static_cast<double>(total_epochs);
+        clock_.advance(record.cost_s);
+        return record;
+      }
+    }
+  }
+
+  // Trained to completion (converging candidate, or exhaustive mode that
+  // pays the full cost even for diverging ones).
+  record.status = core::EvaluationStatus::Completed;
+  record.diverged = diverges;
+  record.test_error = landscape_.final_error(config, options_.run_seed);
+  record.cost_s = full_time;
+
+  // Post-training inference profiling on the target platform.
+  const Measurement m = measure(config);
+  record.measured_power_w = m.power_w;
+  record.measured_memory_mb = m.memory_mb;
+  record.cost_s += options_.measurement_time_s;
+
+  clock_.advance(record.cost_s);
+  return record;
+}
+
+}  // namespace hp::testbed

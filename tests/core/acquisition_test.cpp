@@ -1,0 +1,211 @@
+#include "core/acquisition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spaces.hpp"
+#include "stats/distributions.hpp"
+
+namespace hp::core {
+namespace {
+
+HyperParameterSpace make_space() {
+  return HyperParameterSpace({
+      {"features", ParameterKind::Integer, 20, 80, true},
+      {"lr", ParameterKind::LogContinuous, 0.001, 0.1, false},
+  });
+}
+
+/// Power model P(z) = z0 (so budget 50 means features <= 50 feasible).
+HardwareModel identity_power_model(double residual_sd = 0.0) {
+  return HardwareModel(ModelForm::Linear, linalg::Vector{1.0}, 0.0,
+                       residual_sd);
+}
+
+gp::GaussianProcess fitted_gp() {
+  gp::KernelParams p;
+  p.length_scales = {0.3, 0.3};
+  gp::GaussianProcess gp(gp::Matern52Kernel(p), 1e-6);
+  linalg::Matrix x{{0.2, 0.2}, {0.8, 0.8}, {0.5, 0.5}};
+  linalg::Vector y{0.3, 0.6, 0.2};
+  gp.fit(x, y);
+  return gp;
+}
+
+TEST(HardwareConstraints, IndicatorRespectsBudgets) {
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  HardwareConstraints hc(budgets, identity_power_model(), std::nullopt);
+  EXPECT_TRUE(hc.predicted_feasible(std::vector<double>{40.0}));
+  EXPECT_FALSE(hc.predicted_feasible(std::vector<double>{60.0}));
+}
+
+TEST(HardwareConstraints, MissingModelImposesNoConstraint) {
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  budgets.memory_mb = 100.0;
+  HardwareConstraints hc(budgets, std::nullopt, std::nullopt);
+  EXPECT_TRUE(hc.predicted_feasible(std::vector<double>{1000.0}));
+  EXPECT_EQ(hc.feasibility_probability(std::vector<double>{1000.0}), 1.0);
+}
+
+TEST(HardwareConstraints, ProbabilityReflectsResidualUncertainty) {
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  HardwareConstraints hc(budgets, identity_power_model(5.0), std::nullopt);
+  // Right at the budget: 50% chance.
+  EXPECT_NEAR(hc.feasibility_probability(std::vector<double>{50.0}), 0.5,
+              1e-9);
+  // Far below: near certain.
+  EXPECT_GT(hc.feasibility_probability(std::vector<double>{30.0}), 0.99);
+  // Far above: near zero.
+  EXPECT_LT(hc.feasibility_probability(std::vector<double>{70.0}), 0.01);
+}
+
+TEST(HardwareConstraints, MeasuredFeasibleChecksBothMetrics) {
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  budgets.memory_mb = 100.0;
+  HardwareConstraints hc(budgets, std::nullopt, std::nullopt);
+  EXPECT_TRUE(hc.measured_feasible(45.0, 90.0));
+  EXPECT_FALSE(hc.measured_feasible(55.0, 90.0));
+  EXPECT_FALSE(hc.measured_feasible(45.0, 110.0));
+  // Missing measurements cannot violate (Tegra memory).
+  EXPECT_TRUE(hc.measured_feasible(45.0, std::nullopt));
+  EXPECT_TRUE(hc.measured_feasible(std::nullopt, std::nullopt));
+}
+
+TEST(ExpectedImprovementAcq, MatchesClosedForm) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.25;
+  ExpectedImprovementAcquisition ei;
+  const std::vector<double> unit{0.3, 0.3};
+  const auto pred = gp.predict(linalg::Vector(unit));
+  const double expected =
+      stats::expected_improvement(pred.mean, pred.stddev(), 0.25);
+  EXPECT_DOUBLE_EQ(ei.score(unit, space.decode(unit), ctx), expected);
+}
+
+TEST(ExpectedImprovementAcq, ZeroWithoutModel) {
+  const auto space = make_space();
+  AcquisitionContext ctx{space};
+  ExpectedImprovementAcquisition ei;
+  EXPECT_EQ(ei.score({0.5, 0.5}, space.decode({0.5, 0.5}), ctx), 0.0);
+}
+
+TEST(HwIeci, ZeroInPredictedViolationRegion) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  HardwareConstraints hc(budgets, identity_power_model(), std::nullopt);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.5;
+  ctx.constraints = &hc;
+  HwIeciAcquisition ieci;
+  // features=80 -> predicted power 80 > 50: hard zero.
+  const Configuration violating = space.decode({0.99, 0.5});
+  EXPECT_EQ(ieci.score({0.99, 0.5}, violating, ctx), 0.0);
+  // features=25 -> feasible: positive EI.
+  const Configuration feasible = space.decode({0.05, 0.5});
+  EXPECT_GT(ieci.score({0.05, 0.5}, feasible, ctx), 0.0);
+}
+
+TEST(HwIeci, EqualsEiInFeasibleRegion) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  ConstraintBudgets budgets;
+  budgets.power_w = 100.0;  // everything feasible
+  HardwareConstraints hc(budgets, identity_power_model(), std::nullopt);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.4;
+  ctx.constraints = &hc;
+  HwIeciAcquisition ieci;
+  ExpectedImprovementAcquisition ei;
+  const std::vector<double> unit{0.4, 0.6};
+  const Configuration config = space.decode(unit);
+  EXPECT_DOUBLE_EQ(ieci.score(unit, config, ctx), ei.score(unit, config, ctx));
+}
+
+TEST(HwCwei, WeightsEiByFeasibilityProbability) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  HardwareConstraints hc(budgets, identity_power_model(10.0), std::nullopt);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.4;
+  ctx.constraints = &hc;
+  HwCweiAcquisition cwei;
+  ExpectedImprovementAcquisition ei;
+  const std::vector<double> unit{0.5, 0.5};  // features = 50: P(feasible) ~ 0.5
+  const Configuration config = space.decode(unit);
+  const double ei_score = ei.score(unit, config, ctx);
+  const double cwei_score = cwei.score(unit, config, ctx);
+  EXPECT_GT(cwei_score, 0.0);
+  EXPECT_LT(cwei_score, ei_score);
+  const std::vector<double> z = space.structural_vector(config);
+  EXPECT_NEAR(cwei_score, ei_score * hc.feasibility_probability(z), 1e-12);
+}
+
+TEST(HwCwei, CertainFeasibilityRecoversEi) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  ConstraintBudgets budgets;
+  budgets.power_w = 1000.0;
+  HardwareConstraints hc(budgets, identity_power_model(1.0), std::nullopt);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.4;
+  ctx.constraints = &hc;
+  HwCweiAcquisition cwei;
+  ExpectedImprovementAcquisition ei;
+  const std::vector<double> unit{0.2, 0.8};
+  const Configuration config = space.decode(unit);
+  EXPECT_NEAR(cwei.score(unit, config, ctx), ei.score(unit, config, ctx),
+              1e-12);
+}
+
+TEST(DefaultMode, ConstraintGpsGateTheAcquisition) {
+  // No a-priori models: the acquisition falls back to GPs over measured
+  // power (the expensive unknown-constraints treatment).
+  const auto space = make_space();
+  auto objective_gp = fitted_gp();
+  gp::KernelParams p;
+  p.length_scales = {0.3, 0.3};
+  p.signal_variance = 100.0;
+  gp::GaussianProcess power_gp(gp::Matern52Kernel(p), 1e-4);
+  // Measured power: low at (0.1, *), high at (0.9, *).
+  linalg::Matrix x{{0.1, 0.5}, {0.9, 0.5}};
+  linalg::Vector y{30.0, 90.0};
+  power_gp.fit(x, y);
+
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &objective_gp;
+  ctx.best_observed = 0.5;
+  ctx.budgets.power_w = 50.0;
+  ctx.measured_power_gp = &power_gp;
+
+  HwIeciAcquisition ieci;
+  HwCweiAcquisition cwei;
+  const double ieci_low = ieci.score({0.1, 0.5}, space.decode({0.1, 0.5}), ctx);
+  const double ieci_high = ieci.score({0.9, 0.5}, space.decode({0.9, 0.5}), ctx);
+  EXPECT_GT(ieci_low, 0.0);
+  // At the observed high-power point the GP is confident: the squared-
+  // probability gate drives the score to (essentially) zero.
+  EXPECT_LT(ieci_high, ieci_low * 1e-3);
+  const double cwei_low = cwei.score({0.1, 0.5}, space.decode({0.1, 0.5}), ctx);
+  const double cwei_high = cwei.score({0.9, 0.5}, space.decode({0.9, 0.5}), ctx);
+  EXPECT_GT(cwei_low, cwei_high);
+  // IECI's squared gate suppresses uncertain-feasibility regions harder
+  // than CWEI's linear weighting.
+  EXPECT_LE(ieci_high, cwei_high);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,133 @@
+#include "core/candidate_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::core {
+namespace {
+
+HyperParameterSpace make_space() {
+  return HyperParameterSpace({
+      {"features", ParameterKind::Integer, 20, 80, true},
+      {"lr", ParameterKind::LogContinuous, 0.001, 0.1, false},
+  });
+}
+
+/// Deterministic acquisition peaked at a target unit point.
+class PeakAcquisition final : public AcquisitionFunction {
+ public:
+  explicit PeakAcquisition(std::vector<double> target)
+      : target_(std::move(target)) {}
+  [[nodiscard]] double score(const std::vector<double>& unit_x,
+                             const Configuration&,
+                             const AcquisitionContext&) const override {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < unit_x.size(); ++i) {
+      const double d = unit_x[i] - target_[i];
+      d2 += d * d;
+    }
+    return 1.0 / (1e-3 + d2);
+  }
+  [[nodiscard]] std::string name() const override { return "peak"; }
+
+ private:
+  std::vector<double> target_;
+};
+
+/// Acquisition that scores everything zero.
+class ZeroAcquisition final : public AcquisitionFunction {
+ public:
+  [[nodiscard]] double score(const std::vector<double>&, const Configuration&,
+                             const AcquisitionContext&) const override {
+    return 0.0;
+  }
+  [[nodiscard]] std::string name() const override { return "zero"; }
+};
+
+TEST(CandidatePool, RejectsEmptyPool) {
+  const auto space = make_space();
+  CandidatePoolOptions opt;
+  opt.lattice_points = 0;
+  opt.random_points = 0;
+  EXPECT_THROW(CandidatePool(space, opt), std::invalid_argument);
+}
+
+TEST(CandidatePool, LatticeHasRequestedSizeAndDimension) {
+  const auto space = make_space();
+  CandidatePoolOptions opt;
+  opt.lattice_points = 64;
+  CandidatePool pool(space, opt);
+  ASSERT_EQ(pool.lattice().size(), 64u);
+  for (const auto& p : pool.lattice()) EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(CandidatePool, FindsAcquisitionPeak) {
+  const auto space = make_space();
+  CandidatePoolOptions opt;
+  opt.lattice_points = 400;
+  opt.random_points = 200;
+  CandidatePool pool(space, opt);
+  AcquisitionContext ctx{space};
+  PeakAcquisition peak({0.7, 0.3});
+  stats::Rng rng(1);
+  const auto best = pool.maximize(peak, ctx, rng);
+  EXPECT_NEAR(best.unit[0], 0.7, 0.1);
+  EXPECT_NEAR(best.unit[1], 0.3, 0.1);
+  EXPECT_GT(best.score, 0.0);
+  EXPECT_EQ(best.evaluated, 600u);
+}
+
+TEST(CandidatePool, MaximizerConfigMatchesUnit) {
+  const auto space = make_space();
+  CandidatePool pool(space);
+  AcquisitionContext ctx{space};
+  PeakAcquisition peak({0.5, 0.5});
+  stats::Rng rng(2);
+  const auto best = pool.maximize(peak, ctx, rng);
+  // Config decodes from the unit point the maximizer reports.
+  EXPECT_EQ(best.config, space.decode(best.unit));
+}
+
+TEST(CandidatePool, AllZeroScoresFallsBackToFeasibleCandidate) {
+  const auto space = make_space();
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  // P(z) = features: only feature counts <= 50 are feasible.
+  HardwareConstraints hc(
+      budgets, HardwareModel(ModelForm::Linear, linalg::Vector{1.0}, 0.0, 3.0),
+      std::nullopt);
+  AcquisitionContext ctx{space};
+  ctx.constraints = &hc;
+  CandidatePool pool(space);
+  ZeroAcquisition zero;
+  stats::Rng rng(3);
+  const auto best = pool.maximize(zero, ctx, rng);
+  ASSERT_FALSE(best.unit.empty());
+  // The fallback maximizes feasibility probability -> a low feature count.
+  EXPECT_LT(best.config[0], 55.0);
+}
+
+TEST(CandidatePool, AllZeroScoresWithoutConstraintsStillReturnsAPoint) {
+  const auto space = make_space();
+  AcquisitionContext ctx{space};
+  CandidatePool pool(space);
+  ZeroAcquisition zero;
+  stats::Rng rng(4);
+  const auto best = pool.maximize(zero, ctx, rng);
+  EXPECT_EQ(best.unit.size(), 2u);
+  EXPECT_NO_THROW(space.validate(best.config));
+}
+
+TEST(CandidatePool, DeterministicLatticePerSeed) {
+  const auto space = make_space();
+  CandidatePoolOptions opt;
+  opt.lattice_seed = 42;
+  CandidatePool a(space, opt);
+  CandidatePool b(space, opt);
+  EXPECT_EQ(a.lattice(), b.lattice());
+  opt.lattice_seed = 43;
+  CandidatePool c(space, opt);
+  EXPECT_NE(a.lattice(), c.lattice());
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,125 @@
+#include "core/extra_acquisitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spaces.hpp"
+#include "stats/distributions.hpp"
+
+namespace hp::core {
+namespace {
+
+HyperParameterSpace make_space() {
+  return HyperParameterSpace({
+      {"features", ParameterKind::Integer, 20, 80, true},
+      {"lr", ParameterKind::LogContinuous, 0.001, 0.1, false},
+  });
+}
+
+gp::GaussianProcess fitted_gp() {
+  gp::KernelParams p;
+  p.length_scales = {0.3, 0.3};
+  gp::GaussianProcess gp(gp::Matern52Kernel(p), 1e-6);
+  linalg::Matrix x{{0.2, 0.2}, {0.8, 0.8}, {0.5, 0.5}};
+  linalg::Vector y{0.3, 0.6, 0.2};
+  gp.fit(x, y);
+  return gp;
+}
+
+HardwareConstraints tight_constraints(double budget) {
+  ConstraintBudgets budgets;
+  budgets.power_w = budget;
+  return HardwareConstraints(
+      budgets, HardwareModel(ModelForm::Linear, linalg::Vector{1.0}, 0.0, 2.0),
+      std::nullopt);
+}
+
+TEST(HwPi, ValidatesXi) {
+  EXPECT_THROW(HwPiAcquisition(-0.1), std::invalid_argument);
+  EXPECT_NO_THROW(HwPiAcquisition(0.0));
+}
+
+TEST(HwPi, MatchesClosedFormProbability) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.35;
+  HwPiAcquisition pi(0.01);
+  const std::vector<double> unit{0.4, 0.4};
+  const auto pred = gp.predict(linalg::Vector(unit));
+  const double expected =
+      stats::probability_below(pred.mean, pred.stddev(), 0.35 - 0.01);
+  EXPECT_DOUBLE_EQ(pi.score(unit, space.decode(unit), ctx), expected);
+}
+
+TEST(HwPi, ZeroWithoutGp) {
+  const auto space = make_space();
+  AcquisitionContext ctx{space};
+  HwPiAcquisition pi;
+  EXPECT_EQ(pi.score({0.5, 0.5}, space.decode({0.5, 0.5}), ctx), 0.0);
+}
+
+TEST(HwPi, GatedByAPrioriConstraints) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  const auto constraints = tight_constraints(50.0);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.5;
+  ctx.constraints = &constraints;
+  HwPiAcquisition pi;
+  EXPECT_EQ(pi.score({0.99, 0.5}, space.decode({0.99, 0.5}), ctx), 0.0);
+  EXPECT_GT(pi.score({0.05, 0.5}, space.decode({0.05, 0.5}), ctx), 0.0);
+}
+
+TEST(HwLcb, ValidatesKappa) {
+  EXPECT_THROW(HwLcbAcquisition(-1.0), std::invalid_argument);
+}
+
+TEST(HwLcb, PrefersUncertainOverKnownBad) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.25;
+  HwLcbAcquisition lcb(2.0);
+  // Near the known 0.6 observation: bound is poor. Far from data:
+  // uncertainty makes the optimistic bound attractive.
+  const double near_bad = lcb.score({0.8, 0.8}, space.decode({0.8, 0.8}), ctx);
+  const double far = lcb.score({0.05, 0.95}, space.decode({0.05, 0.95}), ctx);
+  EXPECT_GT(far, near_bad);
+}
+
+TEST(HwLcb, KappaZeroIsPureExploitation) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.25;
+  HwLcbAcquisition greedy(0.0);
+  // At the best observed point (mean 0.2 < 0.25) score is positive.
+  EXPECT_GT(greedy.score({0.5, 0.5}, space.decode({0.5, 0.5}), ctx), 0.0);
+  // At the worst observed point (mean 0.6) the bound loses to 0.25 -> 0.
+  EXPECT_EQ(greedy.score({0.8, 0.8}, space.decode({0.8, 0.8}), ctx), 0.0);
+}
+
+TEST(HwLcb, GatedByAPrioriConstraints) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  const auto constraints = tight_constraints(50.0);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.9;
+  ctx.constraints = &constraints;
+  HwLcbAcquisition lcb;
+  EXPECT_EQ(lcb.score({0.99, 0.2}, space.decode({0.99, 0.2}), ctx), 0.0);
+  EXPECT_GT(lcb.score({0.05, 0.2}, space.decode({0.05, 0.2}), ctx), 0.0);
+}
+
+TEST(ExtraAcquisitions, NamesDistinct) {
+  EXPECT_EQ(HwPiAcquisition().name(), "HW-PI");
+  EXPECT_EQ(HwLcbAcquisition().name(), "HW-LCB");
+}
+
+}  // namespace
+}  // namespace hp::core

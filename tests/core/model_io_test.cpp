@@ -1,0 +1,113 @@
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hp::core {
+namespace {
+
+HardwareModel sample_model() {
+  return HardwareModel(ModelForm::Linear,
+                       linalg::Vector{0.321, 2.241, 0.0, 0.024}, 65.3125,
+                       2.0625);
+}
+
+TEST(ModelIo, RoundTripsExactly) {
+  const HardwareModel original = sample_model();
+  std::stringstream buffer;
+  save_hardware_model(original, buffer);
+  const HardwareModel loaded = load_hardware_model(buffer);
+  EXPECT_EQ(loaded.form(), original.form());
+  EXPECT_EQ(loaded.intercept(), original.intercept());
+  EXPECT_EQ(loaded.residual_sd(), original.residual_sd());
+  ASSERT_EQ(loaded.weights().size(), original.weights().size());
+  for (std::size_t i = 0; i < loaded.weights().size(); ++i) {
+    EXPECT_EQ(loaded.weights()[i], original.weights()[i]);
+  }
+  // And the loaded model predicts identically.
+  const std::vector<double> z{40.0, 3.0, 2.0, 400.0};
+  EXPECT_EQ(loaded.predict(z), original.predict(z));
+}
+
+TEST(ModelIo, RoundTripsQuadraticForm) {
+  const HardwareModel original(ModelForm::Quadratic,
+                               linalg::Vector{1.0, 2.0, 0.5, 0.25}, -3.0, 0.0);
+  std::stringstream buffer;
+  save_hardware_model(original, buffer);
+  const HardwareModel loaded = load_hardware_model(buffer);
+  EXPECT_EQ(loaded.form(), ModelForm::Quadratic);
+  const std::vector<double> z{2.0, 3.0};
+  EXPECT_EQ(loaded.predict(z), original.predict(z));
+}
+
+TEST(ModelIo, RoundTripsExtremePrecision) {
+  const HardwareModel original(
+      ModelForm::Linear,
+      linalg::Vector{1.0 / 3.0, 2.0e-17, 123456789.123456789}, 0.1 + 0.2,
+      1e-300);
+  std::stringstream buffer;
+  save_hardware_model(original, buffer);
+  const HardwareModel loaded = load_hardware_model(buffer);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.weights()[i], original.weights()[i]);
+  }
+  EXPECT_EQ(loaded.intercept(), original.intercept());
+}
+
+TEST(ModelIo, RejectsBadMagic) {
+  std::stringstream buffer("not-a-model v1\n");
+  EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsUnsupportedVersion) {
+  std::stringstream buffer("hyperpower-model v9\nform linear\n");
+  EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsUnknownForm) {
+  std::stringstream buffer(
+      "hyperpower-model v1\nform cubic\nintercept 0\nresidual_sd 0\n"
+      "weights 1 1.0\n");
+  EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedWeights) {
+  std::stringstream buffer(
+      "hyperpower-model v1\nform linear\nintercept 0\nresidual_sd 0\n"
+      "weights 3 1.0 2.0\n");
+  EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsNegativeResidualSd) {
+  std::stringstream buffer(
+      "hyperpower-model v1\nform linear\nintercept 0\nresidual_sd -1\n"
+      "weights 1 1.0\n");
+  EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsEmptyStream) {
+  std::stringstream buffer;
+  EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hp_model_io_test.hpm";
+  save_hardware_model_file(sample_model(), path);
+  const HardwareModel loaded = load_hardware_model_file(path);
+  EXPECT_EQ(loaded.intercept(), sample_model().intercept());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_hardware_model_file("/nonexistent/dir/model.hpm"),
+               std::runtime_error);
+  EXPECT_THROW(
+      save_hardware_model_file(sample_model(), "/nonexistent/dir/model.hpm"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hp::core

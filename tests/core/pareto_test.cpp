@@ -1,0 +1,117 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::core {
+namespace {
+
+EvaluationRecord completed(double error, double power,
+                           std::optional<double> memory = std::nullopt,
+                           bool diverged = false) {
+  EvaluationRecord r;
+  r.status = EvaluationStatus::Completed;
+  r.test_error = error;
+  r.measured_power_w = power;
+  r.measured_memory_mb = memory;
+  r.diverged = diverged;
+  return r;
+}
+
+TEST(Pareto, DominanceRules) {
+  ParetoObjectives obj;  // error + power
+  ParetoPoint a{0.2, 80.0, 0.0, 0, {}};
+  ParetoPoint b{0.3, 90.0, 0.0, 0, {}};
+  ParetoPoint c{0.1, 95.0, 0.0, 0, {}};
+  EXPECT_TRUE(dominates(a, b, obj));
+  EXPECT_FALSE(dominates(b, a, obj));
+  EXPECT_FALSE(dominates(a, c, obj));  // trade-off: neither dominates
+  EXPECT_FALSE(dominates(c, a, obj));
+  EXPECT_FALSE(dominates(a, a, obj));  // not strictly better
+}
+
+TEST(Pareto, MemoryObjectiveChangesDominance) {
+  ParetoPoint a{0.2, 80.0, 900.0, 0, {}};
+  ParetoPoint b{0.2, 80.0, 700.0, 0, {}};
+  ParetoObjectives two;  // error + power only
+  EXPECT_FALSE(dominates(b, a, two));  // equal in the enabled objectives
+  ParetoObjectives three;
+  three.memory = true;
+  EXPECT_TRUE(dominates(b, a, three));
+}
+
+TEST(Pareto, FrontExtractsNonDominatedSortedByPower) {
+  RunTrace trace;
+  trace.add(completed(0.30, 70.0));
+  trace.add(completed(0.25, 85.0));
+  trace.add(completed(0.28, 90.0));  // dominated by the 0.25/85 point
+  trace.add(completed(0.20, 100.0));
+  trace.add(completed(0.35, 70.0));  // dominated (same power, worse error)
+  const auto front = pareto_front(trace);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].power_w, 70.0);
+  EXPECT_DOUBLE_EQ(front[0].test_error, 0.30);
+  EXPECT_DOUBLE_EQ(front[1].power_w, 85.0);
+  EXPECT_DOUBLE_EQ(front[2].power_w, 100.0);
+  EXPECT_DOUBLE_EQ(front[2].test_error, 0.20);
+}
+
+TEST(Pareto, SkipsDivergedAndUnmeasured) {
+  RunTrace trace;
+  trace.add(completed(0.25, 85.0));
+  trace.add(completed(0.9, 60.0, std::nullopt, /*diverged=*/true));
+  EvaluationRecord filtered;
+  filtered.status = EvaluationStatus::ModelFiltered;
+  trace.add(filtered);
+  EvaluationRecord no_power = completed(0.2, 0.0);
+  no_power.measured_power_w.reset();
+  trace.add(no_power);
+  const auto front = pareto_front(trace);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].test_error, 0.25);
+}
+
+TEST(Pareto, NoObjectivesThrows) {
+  RunTrace trace;
+  ParetoObjectives none;
+  none.error = none.power = none.memory = false;
+  EXPECT_THROW((void)pareto_front(trace, none), std::invalid_argument);
+}
+
+TEST(Pareto, DeduplicatesIdenticalObjectiveVectors) {
+  RunTrace trace;
+  trace.add(completed(0.25, 85.0));
+  trace.add(completed(0.25, 85.0));
+  EXPECT_EQ(pareto_front(trace).size(), 1u);
+}
+
+TEST(Pareto, Hypervolume2d) {
+  // Two points (err 0.3 @ 70W, err 0.2 @ 90W) against reference (0.5, 100W):
+  // rect1: (90-70)*(0.5-0.3) = 4; tail: (100-90)*(0.5-0.2) = 3.
+  std::vector<ParetoPoint> front{
+      {0.3, 70.0, 0.0, 0, {}},
+      {0.2, 90.0, 0.0, 0, {}},
+  };
+  EXPECT_NEAR(pareto_hypervolume_2d(front, 0.5, 100.0), 7.0, 1e-12);
+}
+
+TEST(Pareto, HypervolumeEmptyFrontIsZero) {
+  EXPECT_EQ(pareto_hypervolume_2d({}, 0.5, 100.0), 0.0);
+}
+
+TEST(Pareto, HypervolumeIgnoresPointsOutsideReference) {
+  std::vector<ParetoPoint> front{
+      {0.3, 120.0, 0.0, 0, {}},  // beyond the power reference
+      {0.6, 70.0, 0.0, 0, {}},   // above the error reference
+  };
+  EXPECT_EQ(pareto_hypervolume_2d(front, 0.5, 100.0), 0.0);
+}
+
+TEST(Pareto, BetterFrontHasLargerHypervolume) {
+  std::vector<ParetoPoint> weak{{0.4, 90.0, 0.0, 0, {}}};
+  std::vector<ParetoPoint> strong{{0.25, 75.0, 0.0, 0, {}}};
+  EXPECT_GT(pareto_hypervolume_2d(strong, 0.5, 100.0),
+            pareto_hypervolume_2d(weak, 0.5, 100.0));
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,135 @@
+#include "core/spaces.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::core {
+namespace {
+
+TEST(MnistProblem, HasSixHyperParameters) {
+  const BenchmarkProblem p = mnist_problem();
+  EXPECT_EQ(p.space().dimension(), 6u);  // Section 4 of the paper
+  EXPECT_EQ(p.space().structural_dimension(), 4u);
+  EXPECT_EQ(p.name(), "mnist");
+  EXPECT_EQ(p.num_classes(), 10u);
+  EXPECT_EQ(p.input().h, 28u);
+}
+
+TEST(Cifar10Problem, HasThirteenHyperParameters) {
+  const BenchmarkProblem p = cifar10_problem();
+  EXPECT_EQ(p.space().dimension(), 13u);  // Section 4 of the paper
+  EXPECT_EQ(p.space().structural_dimension(), 10u);
+  EXPECT_EQ(p.input().c, 3u);
+  EXPECT_EQ(p.input().h, 32u);
+}
+
+TEST(Problems, PaperRangesRespected) {
+  const BenchmarkProblem p = cifar10_problem();
+  const auto& space = p.space();
+  const auto check = [&](const std::string& name, double lo, double hi) {
+    const auto idx = space.index_of(name);
+    ASSERT_TRUE(idx.has_value()) << name;
+    EXPECT_EQ(space.parameter(*idx).lo, lo) << name;
+    EXPECT_EQ(space.parameter(*idx).hi, hi) << name;
+  };
+  check("conv1_features", 20, 80);
+  check("conv2_kernel", 2, 5);
+  check("pool3_kernel", 1, 3);
+  check("fc1_units", 200, 700);
+  check("learning_rate", 0.001, 0.1);
+  check("momentum", 0.8, 0.95);
+  check("weight_decay", 0.0001, 0.01);
+}
+
+TEST(Problems, TrainingParamsAreNotStructural) {
+  const BenchmarkProblem p = mnist_problem();
+  const auto idx = p.space().index_of("learning_rate");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_FALSE(p.space().parameter(*idx).structural);
+}
+
+TEST(BenchmarkProblem, ToCnnSpecMapsStagesInOrder) {
+  const BenchmarkProblem p = cifar10_problem();
+  stats::Rng rng(1);
+  const Configuration config = p.space().sample(rng);
+  const nn::CnnSpec spec = p.to_cnn_spec(config);
+  ASSERT_EQ(spec.conv_stages.size(), 3u);
+  ASSERT_EQ(spec.dense_stages.size(), 1u);
+  EXPECT_EQ(static_cast<double>(spec.conv_stages[0].features), config[0]);
+  EXPECT_EQ(static_cast<double>(spec.conv_stages[1].kernel_size), config[4]);
+  EXPECT_EQ(static_cast<double>(spec.dense_stages[0].units), config[9]);
+  EXPECT_EQ(spec.input.c, 3u);
+}
+
+TEST(BenchmarkProblem, StructuralVectorMatchesSpecVector) {
+  const BenchmarkProblem p = mnist_problem();
+  stats::Rng rng(2);
+  const Configuration config = p.space().sample(rng);
+  const auto z_space = p.space().structural_vector(config);
+  const auto z_spec = p.to_cnn_spec(config).structural_vector();
+  EXPECT_EQ(z_space, z_spec);
+}
+
+TEST(BenchmarkProblem, TrainingSettingsExtracted) {
+  const BenchmarkProblem p = cifar10_problem();
+  Configuration config{40, 3, 2, 40, 3, 2, 40, 3, 2, 300, 0.02, 0.9, 0.001};
+  const auto s = p.training_settings(config);
+  EXPECT_DOUBLE_EQ(s.learning_rate, 0.02);
+  EXPECT_DOUBLE_EQ(s.momentum, 0.9);
+  EXPECT_DOUBLE_EQ(s.weight_decay, 0.001);
+}
+
+TEST(BenchmarkProblem, MnistWeightDecayDefaulted) {
+  // MNIST has no weight-decay parameter; the default applies.
+  const BenchmarkProblem p = mnist_problem();
+  Configuration config{40, 3, 2, 300, 0.02, 0.9};
+  const auto s = p.training_settings(config);
+  EXPECT_DOUBLE_EQ(s.weight_decay, 0.0005);
+}
+
+TEST(BenchmarkProblem, MostMnistConfigsFeasible) {
+  const BenchmarkProblem p = mnist_problem();
+  stats::Rng rng(3);
+  int feasible = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (nn::is_feasible(p.to_cnn_spec(p.space().sample(rng)))) ++feasible;
+  }
+  EXPECT_EQ(feasible, 200);  // single conv stage on 28x28 never collapses
+}
+
+TEST(BenchmarkProblem, SomeCifarConfigsInfeasible) {
+  // Three conv/pool stages on 32x32 can collapse spatially — the framework
+  // must handle this, as Caffe generation failures occur in the paper.
+  const BenchmarkProblem p = cifar10_problem();
+  stats::Rng rng(4);
+  int infeasible = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (!nn::is_feasible(p.to_cnn_spec(p.space().sample(rng)))) ++infeasible;
+  }
+  EXPECT_GT(infeasible, 0);
+  EXPECT_LT(infeasible, 200);  // but most are fine
+}
+
+TEST(TinyProblems, AreFullyUsable) {
+  for (const BenchmarkProblem& p : {tiny_mnist_problem(), tiny_cifar_problem()}) {
+    stats::Rng rng(5);
+    int feasible = 0;
+    for (int i = 0; i < 50; ++i) {
+      const Configuration c = p.space().sample(rng);
+      if (nn::is_feasible(p.to_cnn_spec(c))) ++feasible;
+    }
+    EXPECT_GT(feasible, 25) << p.name();
+  }
+}
+
+TEST(BenchmarkProblem, StageCountMismatchThrows) {
+  // A space whose structural dimension does not match the stage counts.
+  std::vector<ParameterDef> params = {
+      {"conv1_features", ParameterKind::Integer, 20, 80, true},
+  };
+  EXPECT_THROW(BenchmarkProblem("bad", HyperParameterSpace(std::move(params)),
+                                nn::Shape{1, 1, 28, 28}, 10, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::core

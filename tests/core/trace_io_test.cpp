@@ -1,0 +1,133 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace hp::core {
+namespace {
+
+RunTrace sample_trace() {
+  RunTrace trace;
+  EvaluationRecord a;
+  a.index = 0;
+  a.timestamp_s = 100.5;
+  a.status = EvaluationStatus::Completed;
+  a.test_error = 0.25;
+  a.measured_power_w = 88.25;
+  a.measured_memory_mb = 640.0;
+  a.cost_s = 95.5;
+  trace.add(a);
+  EvaluationRecord b;
+  b.index = 1;
+  b.timestamp_s = 110.0;
+  b.status = EvaluationStatus::ModelFiltered;
+  b.test_error = 1.0;
+  b.violates_constraints = true;
+  b.cost_s = 3.0;
+  trace.add(b);
+  EvaluationRecord c;
+  c.index = 2;
+  c.timestamp_s = 150.0;
+  c.status = EvaluationStatus::EarlyTerminated;
+  c.test_error = 0.9;
+  c.diverged = true;
+  c.cost_s = 30.0;
+  trace.add(c);
+  EvaluationRecord d;
+  d.index = 3;
+  d.timestamp_s = 160.0;
+  d.status = EvaluationStatus::InfeasibleArchitecture;
+  d.test_error = 1.0;
+  d.cost_s = 5.0;
+  trace.add(d);
+  return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  const RunTrace original = sample_trace();
+  std::stringstream buffer;
+  original.write_csv(buffer);
+  const RunTrace loaded = load_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const auto& a = original.records()[i];
+    const auto& b = loaded.records()[i];
+    EXPECT_EQ(b.index, a.index);
+    EXPECT_EQ(b.timestamp_s, a.timestamp_s);
+    EXPECT_EQ(b.status, a.status);
+    EXPECT_EQ(b.test_error, a.test_error);
+    EXPECT_EQ(b.diverged, a.diverged);
+    EXPECT_EQ(b.measured_power_w.has_value(), a.measured_power_w.has_value());
+    if (a.measured_power_w) {
+      EXPECT_EQ(*b.measured_power_w, *a.measured_power_w);
+    }
+    EXPECT_EQ(b.measured_memory_mb.has_value(),
+              a.measured_memory_mb.has_value());
+    EXPECT_EQ(b.violates_constraints, a.violates_constraints);
+    EXPECT_EQ(b.cost_s, a.cost_s);
+  }
+}
+
+TEST(TraceIo, LoadedTraceSupportsDerivedQueries) {
+  std::stringstream buffer;
+  sample_trace().write_csv(buffer);
+  const RunTrace loaded = load_trace_csv(buffer);
+  EXPECT_EQ(loaded.function_evaluations(), 2u);
+  EXPECT_EQ(loaded.model_filtered_count(), 1u);
+  EXPECT_EQ(loaded.early_terminated_count(), 1u);
+  const auto best = loaded.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->test_error, 0.25);
+  EXPECT_DOUBLE_EQ(loaded.total_time_s(), 160.0);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  RunTrace{}.write_csv(buffer);
+  EXPECT_EQ(load_trace_csv(buffer).size(), 0u);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream buffer("foo,bar\n");
+  EXPECT_THROW((void)load_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEmptyStream) {
+  std::stringstream buffer;
+  EXPECT_THROW((void)load_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream buffer(
+      "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
+      "violates,cost_s\n1,2,completed\n");
+  EXPECT_THROW((void)load_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownStatus) {
+  std::stringstream buffer(
+      "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
+      "violates,cost_s\n0,1,weird,0.5,0,,,0,1\n");
+  EXPECT_THROW((void)load_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedNumber) {
+  std::stringstream buffer(
+      "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
+      "violates,cost_s\n0,abc,completed,0.5,0,,,0,1\n");
+  EXPECT_THROW((void)load_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hp_trace_io_test.csv";
+  save_trace_csv_file(sample_trace(), path);
+  const RunTrace loaded = load_trace_csv_file(path);
+  EXPECT_EQ(loaded.size(), 4u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_trace_csv_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hp::core

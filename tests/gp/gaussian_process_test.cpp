@@ -1,0 +1,197 @@
+#include "gp/gaussian_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace hp::gp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+GaussianProcess make_gp(double noise = 1e-8) {
+  KernelParams p;
+  p.signal_variance = 1.0;
+  p.length_scales = {0.4};
+  Matern52Kernel k(p);
+  return GaussianProcess(k, noise);
+}
+
+Matrix column(std::initializer_list<double> xs) {
+  Matrix m(xs.size(), 1);
+  std::size_t i = 0;
+  for (double x : xs) m(i++, 0) = x;
+  return m;
+}
+
+TEST(GaussianProcess, RejectsNegativeNoise) {
+  KernelParams p;
+  Matern52Kernel k(p);
+  EXPECT_THROW(GaussianProcess(k, -1.0), std::invalid_argument);
+}
+
+TEST(GaussianProcess, PredictBeforeFitThrows) {
+  auto gp = make_gp();
+  EXPECT_FALSE(gp.fitted());
+  EXPECT_THROW((void)gp.predict(Vector{0.0}), std::logic_error);
+  EXPECT_THROW((void)gp.log_marginal_likelihood(), std::logic_error);
+  EXPECT_THROW((void)gp.loo_means(), std::logic_error);
+}
+
+TEST(GaussianProcess, FitValidatesShapes) {
+  auto gp = make_gp();
+  EXPECT_THROW(gp.fit(Matrix(), Vector()), std::invalid_argument);
+  EXPECT_THROW(gp.fit(Matrix(3, 1), Vector(2)), std::invalid_argument);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingDataWithLowNoise) {
+  auto gp = make_gp(1e-10);
+  const Matrix x = column({0.0, 0.3, 0.7, 1.0});
+  const Vector y{0.0, 0.5, -0.2, 0.3};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Prediction p = gp.predict(x.row(i));
+    EXPECT_NEAR(p.mean, y[i], 1e-4) << "i=" << i;
+    EXPECT_LT(p.stddev(), 1e-2);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  auto gp = make_gp(1e-6);
+  gp.fit(column({0.4, 0.5, 0.6}), Vector{0.1, 0.2, 0.1});
+  const double var_near = gp.predict(Vector{0.5}).variance;
+  const double var_far = gp.predict(Vector{3.0}).variance;
+  EXPECT_LT(var_near, var_far);
+  // Far from data, the posterior reverts to the prior variance.
+  EXPECT_NEAR(var_far, 1.0, 1e-3);
+}
+
+TEST(GaussianProcess, MeanRevertsToTargetMeanFarAway) {
+  auto gp = make_gp(1e-6);
+  gp.fit(column({0.0, 0.2}), Vector{4.0, 6.0});
+  const Prediction far = gp.predict(Vector{50.0});
+  EXPECT_NEAR(far.mean, 5.0, 1e-6);  // constant-mean function = target mean
+  EXPECT_DOUBLE_EQ(gp.target_mean(), 5.0);
+}
+
+TEST(GaussianProcess, PredictionVarianceNeverNegative) {
+  auto gp = make_gp(1e-9);
+  stats::Rng rng(5);
+  Matrix x(20, 1);
+  Vector y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(6.0 * x(i, 0));
+  }
+  gp.fit(x, y);
+  for (double q = -0.5; q <= 1.5; q += 0.05) {
+    EXPECT_GE(gp.predict(Vector{q}).variance, 0.0);
+  }
+}
+
+TEST(GaussianProcess, ObservationVarianceAddsNoise) {
+  Prediction p;
+  p.variance = 0.5;
+  EXPECT_DOUBLE_EQ(p.observation_variance(0.25), 0.75);
+}
+
+TEST(GaussianProcess, LogMarginalLikelihoodPrefersTrueScale) {
+  // Data generated with length scale 0.4; a GP with wildly wrong length
+  // scale should have lower LML.
+  stats::Rng rng(9);
+  Matrix x(25, 1);
+  Vector y(25);
+  for (std::size_t i = 0; i < 25; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(4.0 * x(i, 0));
+  }
+  KernelParams good;
+  good.length_scales = {0.4};
+  KernelParams bad;
+  bad.length_scales = {0.001};
+  GaussianProcess gp_good(Matern52Kernel(good), 1e-4);
+  GaussianProcess gp_bad(Matern52Kernel(bad), 1e-4);
+  gp_good.fit(x, y);
+  gp_bad.fit(x, y);
+  EXPECT_GT(gp_good.log_marginal_likelihood(),
+            gp_bad.log_marginal_likelihood());
+}
+
+TEST(GaussianProcess, HigherNoiseWidensPredictiveBand) {
+  const Matrix x = column({0.0, 0.5, 1.0});
+  const Vector y{0.0, 1.0, 0.0};
+  auto low = make_gp(1e-8);
+  auto high = make_gp(0.5);
+  low.fit(x, y);
+  high.fit(x, y);
+  EXPECT_LT(low.predict(Vector{0.5}).variance,
+            high.predict(Vector{0.5}).variance);
+}
+
+TEST(GaussianProcess, LooMeansReasonableOnSmoothData) {
+  stats::Rng rng(11);
+  Matrix x(30, 1);
+  Vector y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = static_cast<double>(i) / 29.0;
+    y[i] = std::sin(3.0 * x(i, 0));
+  }
+  auto gp = make_gp(1e-6);
+  gp.fit(x, y);
+  const Vector loo = gp.loo_means();
+  double max_err = 0.0;
+  for (std::size_t i = 1; i + 1 < 30; ++i) {  // interior points
+    max_err = std::max(max_err, std::abs(loo[i] - y[i]));
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(GaussianProcess, SetKernelRefits) {
+  auto gp = make_gp(1e-6);
+  gp.fit(column({0.0, 1.0}), Vector{0.0, 1.0});
+  const double before = gp.predict(Vector{0.5}).mean;
+  KernelParams wide;
+  wide.length_scales = {10.0};
+  gp.set_kernel(Matern52Kernel(wide));
+  EXPECT_TRUE(gp.fitted());
+  const double after = gp.predict(Vector{0.5}).mean;
+  EXPECT_NE(before, after);
+}
+
+TEST(GaussianProcess, SetNoiseVarianceValidatesAndRefits) {
+  auto gp = make_gp(1e-6);
+  gp.fit(column({0.0, 1.0}), Vector{0.0, 1.0});
+  EXPECT_THROW(gp.set_noise_variance(-0.1), std::invalid_argument);
+  gp.set_noise_variance(0.3);
+  EXPECT_DOUBLE_EQ(gp.noise_variance(), 0.3);
+  EXPECT_TRUE(gp.fitted());
+}
+
+TEST(GaussianProcess, NumObservations) {
+  auto gp = make_gp();
+  EXPECT_EQ(gp.num_observations(), 0u);
+  gp.fit(column({0.0, 0.5, 1.0}), Vector{1.0, 2.0, 3.0});
+  EXPECT_EQ(gp.num_observations(), 3u);
+}
+
+TEST(GaussianProcess, MultiDimensionalInputs) {
+  KernelParams p;
+  p.length_scales = {0.3, 0.3, 0.3};
+  GaussianProcess gp(Matern52Kernel(p), 1e-8);
+  stats::Rng rng(13);
+  Matrix x(15, 3);
+  Vector y(15);
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t d = 0; d < 3; ++d) x(i, d) = rng.uniform();
+    y[i] = x(i, 0) + 2.0 * x(i, 1) - x(i, 2);
+  }
+  gp.fit(x, y);
+  const Prediction pred = gp.predict(x.row(7));
+  EXPECT_NEAR(pred.mean, y[7], 1e-3);
+}
+
+}  // namespace
+}  // namespace hp::gp

@@ -1,0 +1,48 @@
+#include "hw/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::hw {
+namespace {
+
+TEST(DeviceDb, PaperDevicesPresent) {
+  const DeviceSpec gtx = gtx1070();
+  EXPECT_EQ(gtx.name, "GTX 1070");
+  EXPECT_TRUE(gtx.supports_memory_query);
+  const DeviceSpec tx1 = tegra_tx1();
+  EXPECT_EQ(tx1.name, "Tegra TX1");
+  // Paper footnote 1: Tegra exposes no memory counter.
+  EXPECT_FALSE(tx1.supports_memory_query);
+}
+
+TEST(DeviceDb, PhysicallyPlausibleNumbers) {
+  for (const DeviceSpec& d : all_devices()) {
+    EXPECT_GT(d.sm_count, 0u) << d.name;
+    EXPECT_GT(d.fp32_tflops, 0.0) << d.name;
+    EXPECT_GT(d.tdp_w, d.idle_power_w) << d.name;
+    EXPECT_GT(d.idle_power_w, 0.0) << d.name;
+    EXPECT_GT(d.dram_gb, 0.0) << d.name;
+    EXPECT_GT(d.power_demand_half_sat, 0.0) << d.name;
+    EXPECT_GT(d.power_depth_attenuation, 0.0) << d.name;
+    EXPECT_LE(d.power_depth_attenuation, 1.0) << d.name;
+  }
+}
+
+TEST(DeviceDb, ServerOutclassesEmbedded) {
+  EXPECT_GT(gtx1070().fp32_tflops, 5.0 * tegra_tx1().fp32_tflops);
+  EXPECT_GT(gtx1070().tdp_w, 5.0 * tegra_tx1().tdp_w);
+}
+
+TEST(DeviceDb, FindDeviceByName) {
+  const auto found = find_device("Tegra TX1");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->name, "Tegra TX1");
+  EXPECT_FALSE(find_device("GTX 9999").has_value());
+}
+
+TEST(DeviceDb, AllDevicesHasAtLeastFour) {
+  EXPECT_GE(all_devices().size(), 4u);
+}
+
+}  // namespace
+}  // namespace hp::hw

@@ -1,0 +1,109 @@
+#include "hw/gpu_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hp::hw {
+namespace {
+
+nn::CnnSpec small_spec() {
+  nn::CnnSpec spec;
+  spec.input = {1, 1, 28, 28};
+  spec.conv_stages = {{30, 3, 2}};
+  spec.dense_stages = {{300}};
+  spec.num_classes = 10;
+  return spec;
+}
+
+TEST(GpuSimulator, IdlePowerNearIdleFloor) {
+  GpuSimulator sim(gtx1070(), 1);
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) sum += sim.read_power_w();
+  EXPECT_NEAR(sum / 200.0, gtx1070().idle_power_w, 2.0);
+}
+
+TEST(GpuSimulator, ActiveInferenceRaisesPower) {
+  GpuSimulator sim(gtx1070(), 2);
+  sim.load_model(small_spec());
+  double idle = 0.0;
+  for (int i = 0; i < 50; ++i) idle += sim.read_power_w();
+  sim.set_inference_active(true);
+  double active = 0.0;
+  for (int i = 0; i < 50; ++i) active += sim.read_power_w();
+  EXPECT_GT(active / 50.0, idle / 50.0 + 10.0);
+}
+
+TEST(GpuSimulator, ReadingsAreNoisyAroundTruth) {
+  GpuSimulator sim(gtx1070(), 3);
+  sim.load_model(small_spec());
+  sim.set_inference_active(true);
+  const double truth = sim.loaded_cost().average_power_w;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const double p = sim.read_power_w();
+    sum += p;
+    sum2 += p * p;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, truth, truth * 0.01);
+  EXPECT_GT(sd, 0.0);
+  EXPECT_LT(sd, truth * 0.05);
+}
+
+TEST(GpuSimulator, SetActiveWithoutModelThrows) {
+  GpuSimulator sim(gtx1070(), 4);
+  EXPECT_THROW(sim.set_inference_active(true), std::logic_error);
+}
+
+TEST(GpuSimulator, MemoryInfoPresentOnServerAbsentOnTegra) {
+  GpuSimulator server(gtx1070(), 5);
+  server.load_model(small_spec());
+  const auto info = server.memory_info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_GT(info->used_mb, 0.0);
+  EXPECT_EQ(info->total_mb, gtx1070().dram_gb * 1024.0);
+  EXPECT_LT(info->used_mb, info->total_mb);
+
+  GpuSimulator tegra(tegra_tx1(), 6);
+  tegra.load_model(small_spec());
+  EXPECT_FALSE(tegra.memory_info().has_value());
+}
+
+TEST(GpuSimulator, UnloadResetsState) {
+  GpuSimulator sim(gtx1070(), 7);
+  sim.load_model(small_spec());
+  EXPECT_TRUE(sim.model_loaded());
+  sim.unload_model();
+  EXPECT_FALSE(sim.model_loaded());
+  EXPECT_THROW((void)sim.inference_latency_ms(), std::logic_error);
+  EXPECT_THROW((void)sim.loaded_cost(), std::logic_error);
+}
+
+TEST(GpuSimulator, LoadUpdatesMemoryInfo) {
+  GpuSimulator sim(gtx1070(), 8);
+  const double before = sim.memory_info()->used_mb;
+  sim.load_model(small_spec());
+  const double after = sim.memory_info()->used_mb;
+  EXPECT_GT(after, before);
+}
+
+TEST(GpuSimulator, InferenceLatencyMatchesCostModel) {
+  GpuSimulator sim(gtx1070(), 9);
+  sim.load_model(small_spec());
+  EXPECT_DOUBLE_EQ(sim.inference_latency_ms(),
+                   sim.cost_model().evaluate(small_spec()).latency_ms);
+}
+
+TEST(GpuSimulator, OversizedModelRejected) {
+  DeviceSpec tiny = gtx1070();
+  tiny.dram_gb = 0.1;  // 100 MB device
+  GpuSimulator sim(tiny, 10);
+  EXPECT_THROW(sim.load_model(small_spec()), std::runtime_error);
+  EXPECT_FALSE(sim.model_loaded());
+}
+
+}  // namespace
+}  // namespace hp::hw

@@ -1,0 +1,108 @@
+// Tests for the nvprof-style per-layer timing path added for the
+// NeuralPower-style layer-wise models.
+
+#include <gtest/gtest.h>
+
+#include "hw/profiler.hpp"
+
+namespace hp::hw {
+namespace {
+
+nn::CnnSpec sample_spec() {
+  nn::CnnSpec spec;
+  spec.input = {1, 3, 32, 32};
+  spec.conv_stages = {{30, 3, 2}, {40, 3, 2}};
+  spec.dense_stages = {{300}};
+  spec.num_classes = 10;
+  return spec;
+}
+
+TEST(LayerProfiling, CostModelBreakdownSumsToTotal) {
+  const CostModel cm(gtx1070());
+  const InferenceCost cost = cm.evaluate(sample_spec());
+  ASSERT_FALSE(cost.layers.empty());
+  double sum = 0.0;
+  for (const LayerCost& layer : cost.layers) sum += layer.latency_ms;
+  EXPECT_NEAR(sum, cost.latency_ms, 1e-9);
+}
+
+TEST(LayerProfiling, BreakdownMatchesWorkloadLayerOrder) {
+  const CostModel cm(gtx1070());
+  const auto spec = sample_spec();
+  const InferenceCost cost = cm.evaluate(spec);
+  const nn::WorkloadSummary workload = nn::compute_workload(spec);
+  ASSERT_EQ(cost.layers.size(), workload.layers.size());
+  for (std::size_t i = 0; i < cost.layers.size(); ++i) {
+    EXPECT_EQ(cost.layers[i].name, workload.layers[i].name);
+    EXPECT_GT(cost.layers[i].latency_ms, 0.0);
+  }
+}
+
+TEST(LayerProfiling, EnergyIsPowerTimesLatency) {
+  const CostModel cm(gtx1070());
+  const InferenceCost cost = cm.evaluate(sample_spec());
+  EXPECT_NEAR(cost.energy_j(),
+              cost.average_power_w * cost.latency_ms / 1e3, 1e-12);
+  EXPECT_GT(cost.energy_j(), 0.0);
+}
+
+TEST(LayerProfiling, SimulatorTimingsNoisyAroundTruth) {
+  GpuSimulator sim(gtx1070(), 4);
+  sim.load_model(sample_spec());
+  const auto truth = sim.loaded_cost().layers;
+  const auto noisy = sim.profile_layers(0.03);
+  ASSERT_EQ(noisy.size(), truth.size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    EXPECT_EQ(noisy[i].name, truth[i].name);
+    EXPECT_NEAR(noisy[i].latency_ms, truth[i].latency_ms,
+                truth[i].latency_ms * 0.25);
+    if (noisy[i].latency_ms != truth[i].latency_ms) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(LayerProfiling, ZeroNoiseReproducesTruth) {
+  GpuSimulator sim(gtx1070(), 5);
+  sim.load_model(sample_spec());
+  const auto truth = sim.loaded_cost().layers;
+  const auto exact = sim.profile_layers(0.0);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].latency_ms, truth[i].latency_ms);
+  }
+}
+
+TEST(LayerProfiling, RequiresLoadedModel) {
+  GpuSimulator sim(gtx1070(), 6);
+  EXPECT_THROW((void)sim.profile_layers(0.03), std::logic_error);
+}
+
+TEST(LayerProfiling, ProfilerCollectsTimingsOnlyWhenAsked) {
+  GpuSimulator sim(gtx1070(), 7);
+  {
+    InferenceProfiler plain(sim);
+    EXPECT_TRUE(plain.profile(sample_spec()).layer_timings.empty());
+  }
+  {
+    ProfilerOptions options;
+    options.collect_layer_timings = true;
+    InferenceProfiler collecting(sim, options);
+    const auto sample = collecting.profile(sample_spec());
+    EXPECT_FALSE(sample.layer_timings.empty());
+    double sum = 0.0;
+    for (const auto& layer : sample.layer_timings) sum += layer.latency_ms;
+    // Noisy per-layer timings sum to roughly the reported total latency.
+    EXPECT_NEAR(sum, sample.latency_ms, sample.latency_ms * 0.2);
+  }
+}
+
+TEST(LayerProfiling, SampleEnergyConsistent) {
+  GpuSimulator sim(gtx1070(), 8);
+  InferenceProfiler profiler(sim);
+  const auto sample = profiler.profile(sample_spec());
+  EXPECT_NEAR(sample.energy_j(),
+              sample.power_w * sample.latency_ms / 1e3, 1e-12);
+}
+
+}  // namespace
+}  // namespace hp::hw

@@ -1,0 +1,170 @@
+// Integration tests: the full HyperPower flow (Figure 2) — profile, train
+// hardware models, optimize under budgets — against the analytic testbed.
+
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed/testbed_objective.hpp"
+
+namespace hp::core {
+namespace {
+
+class FrameworkTest : public ::testing::Test {
+ protected:
+  FrameworkTest()
+      : problem_(mnist_problem()),
+        objective_(problem_, testbed::mnist_landscape(), hw::gtx1070(),
+                   testbed::calibrated_options("mnist", hw::gtx1070())) {
+    budgets_.power_w = 85.0;
+    budgets_.memory_mb = 680.0;
+  }
+
+  /// Trains the framework's hardware models from a fresh profiling pass.
+  void train_models(HyperPowerFramework& fw) {
+    hw::GpuSimulator sim(hw::gtx1070(), 33);
+    hw::InferenceProfiler profiler(sim);
+    const std::size_t n = fw.train_hardware_models(profiler, 60, 21);
+    ASSERT_GE(n, 50u);
+  }
+
+  BenchmarkProblem problem_;
+  testbed::TestbedObjective objective_;
+  ConstraintBudgets budgets_;
+};
+
+TEST_F(FrameworkTest, TrainedModelsMeetPaperAccuracy) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  train_models(fw);
+  ASSERT_TRUE(fw.power_model().has_value());
+  EXPECT_LT(fw.power_model()->cv.rmspe, 7.0);  // Table 1: always < 7%
+  ASSERT_TRUE(fw.memory_model().has_value());
+  EXPECT_LT(fw.memory_model()->cv.rmspe, 7.0);
+}
+
+TEST_F(FrameworkTest, HyperPowerModeRequiresModels) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  FrameworkOptions opt;
+  opt.hyperpower_mode = true;
+  opt.optimizer.max_function_evaluations = 2;
+  EXPECT_THROW((void)fw.optimize(opt), std::logic_error);
+}
+
+TEST_F(FrameworkTest, DefaultModeRunsWithoutModels) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  FrameworkOptions opt;
+  opt.method = Method::Rand;
+  opt.hyperpower_mode = false;
+  opt.optimizer.max_function_evaluations = 4;
+  opt.optimizer.seed = 5;
+  const auto result = fw.optimize(opt);
+  EXPECT_EQ(result.run.trace.function_evaluations(), 4u);
+  EXPECT_EQ(result.method_name, "Rand");
+  EXPECT_FALSE(result.hyperpower_mode);
+}
+
+TEST_F(FrameworkTest, AllFourMethodsRunInBothModes) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  train_models(fw);
+  for (Method m : {Method::Rand, Method::RandWalk, Method::HwCwei,
+                   Method::HwIeci}) {
+    for (bool hyperpower : {false, true}) {
+      objective_.virtual_clock().reset();
+      FrameworkOptions opt;
+      opt.method = m;
+      opt.hyperpower_mode = hyperpower;
+      opt.optimizer.max_function_evaluations = 3;
+      opt.optimizer.max_samples = 300;
+      opt.optimizer.seed = 7;
+      const auto result = fw.optimize(opt);
+      EXPECT_EQ(result.run.trace.function_evaluations(), 3u)
+          << to_string(m) << " hyperpower=" << hyperpower;
+      EXPECT_EQ(result.method_name, to_string(m));
+    }
+  }
+}
+
+TEST_F(FrameworkTest, HyperPowerRandQueriesManyMoreSamplesPerHour) {
+  // Table 4's headline effect: within the same time budget, the
+  // constraint-aware Rand queries far more samples than exhaustive Rand.
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  train_models(fw);
+
+  FrameworkOptions def;
+  def.method = Method::Rand;
+  def.hyperpower_mode = false;
+  def.optimizer.max_runtime_s = 3600.0;
+  def.optimizer.seed = 11;
+  objective_.virtual_clock().reset();
+  const auto default_run = fw.optimize(def);
+
+  FrameworkOptions hp_mode = def;
+  hp_mode.hyperpower_mode = true;
+  objective_.virtual_clock().reset();
+  const auto hyper_run = fw.optimize(hp_mode);
+
+  EXPECT_GT(hyper_run.run.trace.size(), 3 * default_run.run.trace.size());
+  // And the best error found is at least as good (usually much better).
+  const double def_best = default_run.run.best
+                              ? default_run.run.best->test_error
+                              : 1.0;
+  const double hp_best =
+      hyper_run.run.best ? hyper_run.run.best->test_error : 1.0;
+  EXPECT_LE(hp_best, def_best + 0.01);
+}
+
+TEST_F(FrameworkTest, HwIeciRarelyTrainsViolatingSamples) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  train_models(fw);
+  FrameworkOptions opt;
+  opt.method = Method::HwIeci;
+  opt.hyperpower_mode = true;
+  opt.optimizer.max_function_evaluations = 15;
+  opt.optimizer.max_samples = 2000;
+  opt.optimizer.seed = 13;
+  objective_.virtual_clock().reset();
+  const auto result = fw.optimize(opt);
+  // The paper reports zero constraint-violating samples for HW-IECI; with
+  // a ~3% RMSPE model a rare borderline miss is possible but must stay
+  // marginal.
+  EXPECT_LE(result.run.trace.measured_violation_count(), 2u);
+}
+
+TEST_F(FrameworkTest, SetHardwareModelsInstallsExternalModels) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  EXPECT_FALSE(fw.has_hardware_models());
+  fw.set_hardware_models(
+      HardwareModel(ModelForm::Linear, linalg::Vector{1.0, 1.0, 1.0, 0.01},
+                    30.0, 2.0),
+      std::nullopt);
+  EXPECT_TRUE(fw.has_hardware_models());
+  FrameworkOptions opt;
+  opt.method = Method::Rand;
+  opt.hyperpower_mode = true;
+  opt.optimizer.max_function_evaluations = 2;
+  opt.optimizer.max_samples = 500;
+  opt.optimizer.seed = 3;
+  EXPECT_NO_THROW((void)fw.optimize(opt));
+}
+
+TEST_F(FrameworkTest, MethodNamesAndKinds) {
+  EXPECT_EQ(to_string(Method::Rand), "Rand");
+  EXPECT_EQ(to_string(Method::RandWalk), "Rand-Walk");
+  EXPECT_EQ(to_string(Method::HwCwei), "HW-CWEI");
+  EXPECT_EQ(to_string(Method::HwIeci), "HW-IECI");
+  EXPECT_FALSE(is_bayesian(Method::Rand));
+  EXPECT_FALSE(is_bayesian(Method::RandWalk));
+  EXPECT_TRUE(is_bayesian(Method::HwCwei));
+  EXPECT_TRUE(is_bayesian(Method::HwIeci));
+}
+
+TEST_F(FrameworkTest, ProfilingRequiresEnoughSamples) {
+  HyperPowerFramework fw(problem_, objective_, budgets_);
+  hw::GpuSimulator sim(hw::gtx1070(), 1);
+  hw::InferenceProfiler profiler(sim);
+  EXPECT_THROW((void)fw.train_hardware_models(profiler, 5, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::core

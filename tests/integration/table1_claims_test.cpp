@@ -1,0 +1,104 @@
+// Encodes the paper's headline model claims (Table 1 / Section 5) as a
+// parameterized sweep: for every device x dataset pair the linear power
+// model — and the memory model where the platform has a counter — must
+// reach RMSPE below the paper's 7% bound, under 10-fold cross validation
+// on offline profiling samples.
+
+#include <gtest/gtest.h>
+
+#include "core/hw_models.hpp"
+#include "core/spaces.hpp"
+#include "hw/profiler.hpp"
+
+namespace hp::core {
+namespace {
+
+struct PairCase {
+  const char* problem;
+  const char* device;
+  bool expect_memory_model;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PairCase>& info) {
+  std::string name = std::string(info.param.problem) + "_" + info.param.device;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class Table1Claims : public ::testing::TestWithParam<PairCase> {
+ protected:
+  static std::vector<hw::ProfileSample> profile(const BenchmarkProblem& problem,
+                                                const hw::DeviceSpec& device) {
+    hw::GpuSimulator simulator(device, 91);
+    hw::InferenceProfiler profiler(simulator);
+    stats::Rng rng(91);
+    std::vector<nn::CnnSpec> specs;
+    std::size_t attempts = 0;
+    while (specs.size() < 100 && attempts < 2000) {
+      ++attempts;
+      const auto config = problem.space().sample(rng);
+      const auto spec = problem.to_cnn_spec(config);
+      if (nn::is_feasible(spec)) specs.push_back(spec);
+    }
+    return profiler.profile_all(specs);
+  }
+};
+
+TEST_P(Table1Claims, LinearModelsMeetTheSevenPercentBound) {
+  const PairCase param = GetParam();
+  const BenchmarkProblem problem = std::string(param.problem) == "mnist"
+                                       ? mnist_problem()
+                                       : cifar10_problem();
+  const auto device = hw::find_device(param.device);
+  ASSERT_TRUE(device.has_value());
+  const auto samples = profile(problem, *device);
+  ASSERT_GE(samples.size(), 80u);
+
+  const auto power = train_power_model(samples);
+  EXPECT_LT(power.cv.rmspe, 7.0) << "power model";
+  EXPECT_GT(power.cv.r_squared, 0.3) << "power model explains variance";
+
+  const auto memory = train_memory_model(samples);
+  EXPECT_EQ(memory.has_value(), param.expect_memory_model);
+  if (memory) {
+    EXPECT_LT(memory->cv.rmspe, 7.5) << "memory model";
+  }
+}
+
+TEST_P(Table1Claims, PowerIsIndependentOfTrainingState) {
+  // The core insight (Fig. 3 left): the same architecture measured twice
+  // (as at different training checkpoints) draws the same power up to
+  // sensor noise.
+  const PairCase param = GetParam();
+  const BenchmarkProblem problem = std::string(param.problem) == "mnist"
+                                       ? mnist_problem()
+                                       : cifar10_problem();
+  const auto device = hw::find_device(param.device);
+  ASSERT_TRUE(device.has_value());
+  hw::GpuSimulator simulator(*device, 17);
+  hw::InferenceProfiler profiler(simulator);
+  stats::Rng rng(17);
+  core::Configuration config = problem.space().sample(rng);
+  while (!nn::is_feasible(problem.to_cnn_spec(config))) {
+    config = problem.space().sample(rng);
+  }
+  const auto spec = problem.to_cnn_spec(config);
+  const auto first = profiler.profile(spec);
+  const auto second = profiler.profile(spec);
+  EXPECT_NEAR(second.power_w, first.power_w, first.power_w * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, Table1Claims,
+    ::testing::Values(PairCase{"mnist", "GTX 1070", true},
+                      PairCase{"cifar10", "GTX 1070", true},
+                      PairCase{"mnist", "Tegra TX1", false},
+                      PairCase{"cifar10", "Tegra TX1", false},
+                      PairCase{"mnist", "GTX 1080 Ti", true},
+                      PairCase{"cifar10", "Jetson Nano", false}),
+    case_name);
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,138 @@
+#include "linalg/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::linalg {
+namespace {
+
+TEST(Vector, DefaultConstructedIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizedConstructorZeroInitializes) {
+  Vector v(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  Vector v(3, 2.5);
+  EXPECT_EQ(v[0], 2.5);
+  EXPECT_EQ(v[2], 2.5);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(Vector, FromStdVector) {
+  Vector v(std::vector<double>{4.0, 5.0});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 4.0);
+}
+
+TEST(Vector, OutOfRangeAccessThrows) {
+  Vector v(2);
+  EXPECT_THROW((void)v[2], std::out_of_range);
+  const Vector& cv = v;
+  EXPECT_THROW((void)cv[5], std::out_of_range);
+}
+
+TEST(Vector, AdditionAndSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 5.0};
+  const Vector sum = a + b;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 7.0);
+  const Vector diff = b - a;
+  EXPECT_EQ(diff[0], 2.0);
+  EXPECT_EQ(diff[1], 3.0);
+}
+
+TEST(Vector, MismatchedSizesThrow) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)dot(a, b), std::invalid_argument);
+  EXPECT_THROW((void)hadamard(a, b), std::invalid_argument);
+  EXPECT_THROW((void)max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Vector, ScalarMultiplyAndDivide) {
+  Vector v{2.0, -4.0};
+  const Vector twice = v * 2.0;
+  EXPECT_EQ(twice[0], 4.0);
+  const Vector half = v / 2.0;
+  EXPECT_EQ(half[1], -2.0);
+  const Vector scaled = 3.0 * v;
+  EXPECT_EQ(scaled[0], 6.0);
+}
+
+TEST(Vector, DivisionByZeroThrows) {
+  Vector v{1.0};
+  EXPECT_THROW(v /= 0.0, std::invalid_argument);
+}
+
+TEST(Vector, DotProduct) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vector, Hadamard) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 4.0};
+  const Vector h = hadamard(a, b);
+  EXPECT_EQ(h[0], 3.0);
+  EXPECT_EQ(h[1], 8.0);
+}
+
+TEST(Vector, Norm) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vector, SumMeanMinMax) {
+  Vector v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(v.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(v.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(v.min(), 1.0);
+  EXPECT_DOUBLE_EQ(v.max(), 6.0);
+}
+
+TEST(Vector, EmptyAggregatesThrow) {
+  Vector v;
+  EXPECT_THROW((void)v.mean(), std::logic_error);
+  EXPECT_THROW((void)v.min(), std::logic_error);
+  EXPECT_THROW((void)v.max(), std::logic_error);
+}
+
+TEST(Vector, MaxAbsDiff) {
+  Vector a{1.0, 5.0};
+  Vector b{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+}
+
+TEST(Vector, StreamOutput) {
+  Vector v{1.0, 2.0};
+  std::ostringstream os;
+  os << v;
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+TEST(Vector, RangeForIteration) {
+  Vector v{1.0, 2.0, 3.0};
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+}  // namespace
+}  // namespace hp::linalg

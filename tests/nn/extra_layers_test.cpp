@@ -1,0 +1,211 @@
+#include "nn/extra_layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hp::nn {
+namespace {
+
+TEST(AvgPool, ValidatesKernel) {
+  EXPECT_THROW(AvgPoolLayer(0), std::invalid_argument);
+}
+
+TEST(AvgPool, OutputShapeFloors) {
+  AvgPoolLayer pool(2);
+  EXPECT_EQ(pool.output_shape({1, 3, 5, 7}), (Shape{1, 3, 2, 3}));
+  EXPECT_THROW((void)pool.output_shape({1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(AvgPool, ComputesWindowMean) {
+  AvgPoolLayer pool(2);
+  Tensor in({1, 1, 2, 2});
+  in.at(0, 0, 0, 0) = 1.0F;
+  in.at(0, 0, 0, 1) = 2.0F;
+  in.at(0, 0, 1, 0) = 3.0F;
+  in.at(0, 0, 1, 1) = 6.0F;
+  Tensor out;
+  pool.forward(in, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 3.0F);
+}
+
+TEST(AvgPool, BackwardSpreadsGradientEvenly) {
+  AvgPoolLayer pool(2);
+  Tensor in({1, 1, 2, 2});
+  Tensor out;
+  pool.forward(in, out);
+  Tensor go({1, 1, 1, 1});
+  go.fill(4.0F);
+  Tensor gi;
+  pool.backward(in, go, gi);
+  for (float g : gi.flat()) EXPECT_FLOAT_EQ(g, 1.0F);
+}
+
+TEST(AvgPool, GradientMatchesFiniteDifference) {
+  AvgPoolLayer pool(2);
+  stats::Rng rng(3);
+  Tensor in({1, 2, 4, 4});
+  for (float& x : in.flat()) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Tensor out;
+  pool.forward(in, out);
+  Tensor go(out.shape());
+  for (float& g : go.flat()) g = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Tensor gi;
+  pool.backward(in, go, gi);
+  const double eps = 1e-2;
+  for (std::size_t i = 0; i < in.size(); i += 3) {
+    const float saved = in.flat()[i];
+    const auto loss = [&](float v) {
+      in.flat()[i] = v;
+      Tensor o;
+      pool.forward(in, o);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < o.size(); ++k) {
+        acc += static_cast<double>(o.flat()[k]) *
+               static_cast<double>(go.flat()[k]);
+      }
+      return acc;
+    };
+    const double num = (loss(saved + static_cast<float>(eps)) -
+                        loss(saved - static_cast<float>(eps))) /
+                       (2 * eps);
+    in.flat()[i] = saved;
+    EXPECT_NEAR(static_cast<double>(gi.flat()[i]), num, 1e-3) << i;
+  }
+}
+
+TEST(Dropout, ValidatesProbability) {
+  EXPECT_THROW(DropoutLayer(-0.1), std::invalid_argument);
+  EXPECT_THROW(DropoutLayer(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(DropoutLayer(0.0));
+}
+
+TEST(Dropout, InferenceModeIsIdentity) {
+  DropoutLayer dropout(0.5);
+  dropout.set_training(false);
+  Tensor in({1, 1, 1, 8});
+  for (std::size_t i = 0; i < 8; ++i) in.flat()[i] = static_cast<float>(i);
+  Tensor out;
+  dropout.forward(in, out);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out.flat()[i], in.flat()[i]);
+  }
+}
+
+TEST(Dropout, TrainingDropsAndRescales) {
+  DropoutLayer dropout(0.5);
+  stats::Rng rng(7);
+  dropout.initialize(rng);
+  Tensor in({1, 1, 1, 2000});
+  in.fill(1.0F);
+  Tensor out;
+  dropout.forward(in, out);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (float v : out.flat()) {
+    if (v == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0F);  // survivors scaled by 1/(1-p)
+    }
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 2000.0, 0.5, 0.05);
+  // Expectation preserved.
+  EXPECT_NEAR(sum / 2000.0, 1.0, 0.1);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  DropoutLayer dropout(0.5);
+  stats::Rng rng(9);
+  dropout.initialize(rng);
+  Tensor in({1, 1, 1, 100});
+  in.fill(1.0F);
+  Tensor out;
+  dropout.forward(in, out);
+  Tensor go(in.shape());
+  go.fill(1.0F);
+  Tensor gi;
+  dropout.backward(in, go, gi);
+  for (std::size_t i = 0; i < 100; ++i) {
+    // Gradient flows exactly where the activation survived.
+    EXPECT_EQ(gi.flat()[i], out.flat()[i]);
+  }
+}
+
+TEST(Dropout, BackwardBeforeForwardThrows) {
+  DropoutLayer dropout(0.3);
+  Tensor in({1, 1, 1, 4});
+  Tensor go({1, 1, 1, 4});
+  Tensor gi;
+  EXPECT_THROW(dropout.backward(in, go, gi), std::logic_error);
+}
+
+TEST(Sigmoid, ForwardValues) {
+  SigmoidLayer sigmoid;
+  Tensor in({1, 1, 1, 3});
+  in.flat()[0] = 0.0F;
+  in.flat()[1] = 100.0F;
+  in.flat()[2] = -100.0F;
+  Tensor out;
+  sigmoid.forward(in, out);
+  EXPECT_FLOAT_EQ(out.flat()[0], 0.5F);
+  EXPECT_NEAR(out.flat()[1], 1.0F, 1e-6F);
+  EXPECT_NEAR(out.flat()[2], 0.0F, 1e-6F);
+}
+
+TEST(Sigmoid, GradientMatchesClosedForm) {
+  SigmoidLayer sigmoid;
+  Tensor in({1, 1, 1, 1});
+  in.flat()[0] = 0.7F;
+  Tensor out;
+  sigmoid.forward(in, out);
+  Tensor go(in.shape());
+  go.fill(1.0F);
+  Tensor gi;
+  sigmoid.backward(in, go, gi);
+  const double y = 1.0 / (1.0 + std::exp(-0.7));
+  EXPECT_NEAR(static_cast<double>(gi.flat()[0]), y * (1.0 - y), 1e-6);
+}
+
+TEST(Tanh, ForwardAndGradient) {
+  TanhLayer tanh_layer;
+  Tensor in({1, 1, 1, 2});
+  in.flat()[0] = 0.0F;
+  in.flat()[1] = 1.2F;
+  Tensor out;
+  tanh_layer.forward(in, out);
+  EXPECT_FLOAT_EQ(out.flat()[0], 0.0F);
+  EXPECT_NEAR(out.flat()[1], std::tanh(1.2F), 1e-6F);
+  Tensor go(in.shape());
+  go.fill(1.0F);
+  Tensor gi;
+  tanh_layer.backward(in, go, gi);
+  const double y = std::tanh(1.2);
+  EXPECT_NEAR(static_cast<double>(gi.flat()[1]), 1.0 - y * y, 1e-6);
+  EXPECT_NEAR(static_cast<double>(gi.flat()[0]), 1.0, 1e-6);
+}
+
+TEST(ExtraLayers, BackwardBeforeForwardThrows) {
+  Tensor in({1, 1, 1, 2});
+  Tensor go({1, 1, 1, 2});
+  Tensor gi;
+  SigmoidLayer sigmoid;
+  EXPECT_THROW(sigmoid.backward(in, go, gi), std::logic_error);
+  TanhLayer tanh_layer;
+  EXPECT_THROW(tanh_layer.backward(in, go, gi), std::logic_error);
+}
+
+TEST(ExtraLayers, HaveNoParameters) {
+  AvgPoolLayer avg(2);
+  DropoutLayer drop(0.5);
+  SigmoidLayer sig;
+  TanhLayer tanh_layer;
+  EXPECT_TRUE(avg.parameters().empty());
+  EXPECT_TRUE(drop.parameters().empty());
+  EXPECT_TRUE(sig.parameters().empty());
+  EXPECT_TRUE(tanh_layer.parameters().empty());
+}
+
+}  // namespace
+}  // namespace hp::nn

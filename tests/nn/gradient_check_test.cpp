@@ -1,0 +1,174 @@
+// Finite-difference gradient checks for every layer with parameters, plus
+// input-gradient checks through the full loss. These are the strongest
+// correctness guarantees the NN substrate has.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/layers.hpp"
+#include "nn/pooling.hpp"
+#include "nn/softmax.hpp"
+#include "stats/rng.hpp"
+
+namespace hp::nn {
+namespace {
+
+/// Scalar loss used to probe layer gradients: L = sum(out * coeff) with
+/// fixed pseudo-random coefficients (so dL/dout = coeff).
+struct ProbeLoss {
+  std::vector<float> coeff;
+
+  void resize(std::size_t n, stats::Rng& rng) {
+    coeff.resize(n);
+    for (float& c : coeff) c = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  [[nodiscard]] double value(const Tensor& out) const {
+    double acc = 0.0;
+    const auto f = out.flat();
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      acc += static_cast<double>(f[i]) * static_cast<double>(coeff[i]);
+    }
+    return acc;
+  }
+  [[nodiscard]] Tensor gradient(const Shape& shape) const {
+    Tensor g(shape);
+    auto f = g.flat();
+    for (std::size_t i = 0; i < f.size(); ++i) f[i] = coeff[i];
+    return g;
+  }
+};
+
+void fill_random(Tensor& t, stats::Rng& rng, double scale = 1.0) {
+  for (float& x : t.flat()) {
+    x = static_cast<float>(rng.uniform(-scale, scale));
+  }
+}
+
+/// Checks every parameter gradient and the input gradient of @p layer at a
+/// random input of @p in_shape by central finite differences.
+void check_layer_gradients(Layer& layer, const Shape& in_shape,
+                           std::uint64_t seed, double tol = 2e-2) {
+  stats::Rng rng(seed);
+  Tensor input(in_shape);
+  fill_random(input, rng);
+  layer.initialize(rng);
+
+  Tensor output;
+  layer.forward(input, output);
+  ProbeLoss probe;
+  probe.resize(output.size(), rng);
+
+  // Analytic gradients.
+  for (Parameter* p : layer.parameters()) p->gradient.fill(0.0F);
+  Tensor grad_out = probe.gradient(output.shape());
+  Tensor grad_in;
+  layer.backward(input, grad_out, grad_in);
+
+  const double eps = 1e-2;  // float32: balance truncation vs roundoff
+  const auto numeric_grad = [&](float* slot) {
+    const float saved = *slot;
+    *slot = saved + static_cast<float>(eps);
+    Tensor out_p;
+    layer.forward(input, out_p);
+    const double lp = probe.value(out_p);
+    *slot = saved - static_cast<float>(eps);
+    Tensor out_m;
+    layer.forward(input, out_m);
+    const double lm = probe.value(out_m);
+    *slot = saved;
+    return (lp - lm) / (2.0 * eps);
+  };
+
+  // Parameter gradients (probe a subset for large blobs).
+  for (Parameter* p : layer.parameters()) {
+    const std::size_t n = p->value.size();
+    const std::size_t stride = std::max<std::size_t>(1, n / 25);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const double num = numeric_grad(p->value.data() + i);
+      const double ana = static_cast<double>(p->gradient.flat()[i]);
+      EXPECT_NEAR(ana, num, tol * std::max(1.0, std::abs(num)))
+          << "param grad index " << i;
+    }
+  }
+
+  // Input gradients.
+  const std::size_t n = input.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / 25);
+  for (std::size_t i = 0; i < n; i += stride) {
+    const double num = numeric_grad(input.data() + i);
+    const double ana = static_cast<double>(grad_in.flat()[i]);
+    EXPECT_NEAR(ana, num, tol * std::max(1.0, std::abs(num)))
+        << "input grad index " << i;
+  }
+}
+
+TEST(GradientCheck, Dense) {
+  DenseLayer dense(6, 4);
+  check_layer_gradients(dense, {2, 6, 1, 1}, 1);
+}
+
+TEST(GradientCheck, DenseFromSpatialInput) {
+  DenseLayer dense(12, 3);
+  check_layer_gradients(dense, {2, 3, 2, 2}, 2);
+}
+
+TEST(GradientCheck, Conv2dSingleChannel) {
+  Conv2dLayer conv(1, 3, 2);
+  check_layer_gradients(conv, {2, 1, 5, 5}, 3);
+}
+
+TEST(GradientCheck, Conv2dMultiChannel) {
+  Conv2dLayer conv(3, 4, 3);
+  check_layer_gradients(conv, {2, 3, 6, 6}, 4);
+}
+
+TEST(GradientCheck, Conv2dLargeKernel) {
+  Conv2dLayer conv(2, 2, 5);
+  check_layer_gradients(conv, {1, 2, 7, 7}, 5);
+}
+
+TEST(GradientCheck, Relu) {
+  ReluLayer relu;
+  check_layer_gradients(relu, {2, 3, 4, 4}, 6);
+}
+
+TEST(GradientCheck, MaxPool) {
+  MaxPoolLayer pool(2);
+  check_layer_gradients(pool, {2, 2, 6, 6}, 7);
+}
+
+TEST(GradientCheck, SoftmaxCrossEntropyLogitGradient) {
+  // Check d(loss)/d(logits) of the fused head by finite differences.
+  SoftmaxCrossEntropy loss(5);
+  stats::Rng rng(8);
+  Tensor logits({3, 5, 1, 1});
+  fill_random(logits, rng, 2.0);
+  std::vector<std::uint8_t> labels{0, 3, 4};
+
+  Tensor probs;
+  (void)loss.forward(logits, labels, probs);
+  Tensor grad;
+  loss.backward(probs, labels, grad);
+
+  const double eps = 1e-2;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    float* slot = logits.data() + i;
+    const float saved = *slot;
+    Tensor p2;
+    *slot = saved + static_cast<float>(eps);
+    const double lp = loss.forward(logits, labels, p2);
+    *slot = saved - static_cast<float>(eps);
+    const double lm = loss.forward(logits, labels, p2);
+    *slot = saved;
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(static_cast<double>(grad.flat()[i]), num, 2e-3)
+        << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hp::nn

@@ -1,0 +1,139 @@
+#include "nn/idx_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/rng.hpp"
+
+namespace hp::nn {
+namespace {
+
+Tensor sample_images(std::size_t n = 5, std::size_t size = 8) {
+  stats::Rng rng(3);
+  Tensor images({n, 1, size, size});
+  for (float& x : images.flat()) {
+    x = static_cast<float>(rng.uniform());
+  }
+  return images;
+}
+
+TEST(IdxLoader, ImageRoundTripWithinQuantization) {
+  const Tensor original = sample_images();
+  std::stringstream buffer;
+  save_idx_images(original, buffer);
+  const Tensor loaded = load_idx_images(buffer);
+  ASSERT_EQ(loaded.shape(), original.shape());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded.flat()[i], original.flat()[i], 1.0F / 255.0F);
+  }
+}
+
+TEST(IdxLoader, LabelRoundTripExact) {
+  const std::vector<std::uint8_t> labels{0, 1, 2, 9, 5, 3};
+  std::stringstream buffer;
+  save_idx_labels(labels, buffer);
+  EXPECT_EQ(load_idx_labels(buffer), labels);
+}
+
+TEST(IdxLoader, PixelValuesClampedOnSave) {
+  Tensor images({1, 1, 1, 2});
+  images.flat()[0] = -0.5F;
+  images.flat()[1] = 2.0F;
+  std::stringstream buffer;
+  save_idx_images(images, buffer);
+  const Tensor loaded = load_idx_images(buffer);
+  EXPECT_EQ(loaded.flat()[0], 0.0F);
+  EXPECT_EQ(loaded.flat()[1], 1.0F);
+}
+
+TEST(IdxLoader, RejectsBadMagic) {
+  std::stringstream buffer;
+  save_idx_labels({1, 2}, buffer);  // label magic where images expected
+  EXPECT_THROW((void)load_idx_images(buffer), std::runtime_error);
+  std::stringstream buffer2;
+  save_idx_images(sample_images(1), buffer2);
+  EXPECT_THROW((void)load_idx_labels(buffer2), std::runtime_error);
+}
+
+TEST(IdxLoader, RejectsTruncatedData) {
+  std::stringstream buffer;
+  save_idx_images(sample_images(3), buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  EXPECT_THROW((void)load_idx_images(truncated), std::runtime_error);
+}
+
+TEST(IdxLoader, RejectsEmptyStream) {
+  std::stringstream buffer;
+  EXPECT_THROW((void)load_idx_images(buffer), std::runtime_error);
+}
+
+TEST(IdxLoader, MultiChannelSaveRejected) {
+  Tensor rgb({1, 3, 2, 2});
+  std::stringstream buffer;
+  EXPECT_THROW(save_idx_images(rgb, buffer), std::runtime_error);
+}
+
+TEST(IdxLoader, DatasetFilePairRoundTrip) {
+  const std::string images_path = ::testing::TempDir() + "/idx_images_test";
+  const std::string labels_path = ::testing::TempDir() + "/idx_labels_test";
+  {
+    std::ofstream images_file(images_path, std::ios::binary);
+    save_idx_images(sample_images(4, 6), images_file);
+    std::ofstream labels_file(labels_path, std::ios::binary);
+    save_idx_labels({0, 1, 2, 3}, labels_file);
+  }
+  const Dataset ds = load_idx_dataset(images_path, labels_path);
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.item_shape(), (Shape{1, 1, 6, 6}));
+  EXPECT_EQ(ds.num_classes(), 4u);
+  std::remove(images_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+TEST(IdxLoader, DatasetCountMismatchThrows) {
+  const std::string images_path = ::testing::TempDir() + "/idx_mm_images";
+  const std::string labels_path = ::testing::TempDir() + "/idx_mm_labels";
+  {
+    std::ofstream images_file(images_path, std::ios::binary);
+    save_idx_images(sample_images(4, 6), images_file);
+    std::ofstream labels_file(labels_path, std::ios::binary);
+    save_idx_labels({0, 1}, labels_file);
+  }
+  EXPECT_THROW((void)load_idx_dataset(images_path, labels_path),
+               std::runtime_error);
+  std::remove(images_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+TEST(IdxLoader, MissingFileThrows) {
+  EXPECT_THROW((void)load_idx_dataset("/nonexistent/images", "/nonexistent/labels"),
+               std::runtime_error);
+}
+
+TEST(IdxLoader, LoadedDatasetIsTrainable) {
+  // The loaded dataset plugs straight into gather() as the trainer uses it.
+  const std::string images_path = ::testing::TempDir() + "/idx_train_images";
+  const std::string labels_path = ::testing::TempDir() + "/idx_train_labels";
+  {
+    std::ofstream images_file(images_path, std::ios::binary);
+    save_idx_images(sample_images(10, 8), images_file);
+    std::ofstream labels_file(labels_path, std::ios::binary);
+    save_idx_labels({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, labels_file);
+  }
+  const Dataset ds = load_idx_dataset(images_path, labels_path);
+  Tensor batch;
+  std::vector<std::uint8_t> batch_labels;
+  const std::vector<std::size_t> idx{1, 3, 5};
+  ds.gather(idx, batch, batch_labels);
+  EXPECT_EQ(batch.shape().n, 3u);
+  EXPECT_EQ(batch_labels[2], 5);
+  std::remove(images_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+}  // namespace
+}  // namespace hp::nn

@@ -1,0 +1,116 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::stats {
+namespace {
+
+TEST(NormalPdf, StandardValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(normal_cdf(6.0), 1.0, 1e-9);
+  EXPECT_NEAR(normal_cdf(-6.0), 0.0, 1e-9);
+}
+
+TEST(NormalCdf, Monotone) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    const double c = normal_cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+}
+
+TEST(NormalQuantile, OutOfDomainThrows) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW((void)normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW((void)normal_quantile(-0.2), std::domain_error);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, QuantileThenCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileRoundTrip,
+                         ::testing::Values(1e-6, 1e-4, 0.02, 0.2, 0.4, 0.6,
+                                           0.8, 0.98, 1.0 - 1e-4, 1.0 - 1e-6));
+
+TEST(ExpectedImprovement, ZeroVarianceDegeneratesToHinge) {
+  EXPECT_DOUBLE_EQ(expected_improvement(0.5, 0.0, 0.7), 0.2);
+  EXPECT_DOUBLE_EQ(expected_improvement(0.9, 0.0, 0.7), 0.0);
+}
+
+TEST(ExpectedImprovement, MatchesNumericalIntegration) {
+  // EI = integral of max(best - y, 0) * N(y; mean, sd^2) dy.
+  const double mean = 0.3, sd = 0.2, best = 0.35;
+  double acc = 0.0;
+  const int n = 200000;
+  const double lo = mean - 8 * sd, hi = mean + 8 * sd;
+  const double dy = (hi - lo) / n;
+  for (int i = 0; i < n; ++i) {
+    const double y = lo + (i + 0.5) * dy;
+    const double density = normal_pdf((y - mean) / sd) / sd;
+    acc += std::max(best - y, 0.0) * density * dy;
+  }
+  EXPECT_NEAR(expected_improvement(mean, sd, best), acc, 1e-6);
+}
+
+TEST(ExpectedImprovement, IncreasesWithUncertainty) {
+  const double a = expected_improvement(0.5, 0.1, 0.4);
+  const double b = expected_improvement(0.5, 0.3, 0.4);
+  EXPECT_GT(b, a);
+}
+
+TEST(ExpectedImprovement, DecreasesAsMeanWorsens) {
+  const double a = expected_improvement(0.4, 0.1, 0.5);
+  const double b = expected_improvement(0.6, 0.1, 0.5);
+  EXPECT_GT(a, b);
+}
+
+TEST(ExpectedImprovement, AlwaysNonNegative) {
+  for (double mean : {-1.0, 0.0, 2.0}) {
+    for (double sd : {0.0, 0.01, 1.0}) {
+      for (double best : {-2.0, 0.0, 1.0}) {
+        EXPECT_GE(expected_improvement(mean, sd, best), 0.0);
+      }
+    }
+  }
+}
+
+TEST(ProbabilityBelow, GaussianCase) {
+  EXPECT_NEAR(probability_below(0.0, 1.0, 0.0), 0.5, 1e-12);
+  EXPECT_GT(probability_below(0.0, 1.0, 1.0), 0.8);
+  EXPECT_LT(probability_below(0.0, 1.0, -1.0), 0.2);
+}
+
+TEST(ProbabilityBelow, DegenerateStep) {
+  EXPECT_EQ(probability_below(5.0, 0.0, 5.0), 1.0);
+  EXPECT_EQ(probability_below(5.0, 0.0, 4.999), 0.0);
+}
+
+}  // namespace
+}  // namespace hp::stats

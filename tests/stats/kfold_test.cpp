@@ -1,0 +1,75 @@
+#include "stats/kfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hp::stats {
+namespace {
+
+TEST(KFold, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)kfold_splits(10, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)kfold_splits(5, 6, 0), std::invalid_argument);
+}
+
+TEST(KFold, DeterministicForSeed) {
+  const auto a = kfold_splits(20, 4, 7);
+  const auto b = kfold_splits(20, 4, 7);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(a[f].validation_indices, b[f].validation_indices);
+    EXPECT_EQ(a[f].train_indices, b[f].train_indices);
+  }
+}
+
+TEST(KFold, DifferentSeedsShuffleDifferently) {
+  const auto a = kfold_splits(50, 5, 1);
+  const auto b = kfold_splits(50, 5, 2);
+  EXPECT_NE(a[0].validation_indices, b[0].validation_indices);
+}
+
+class KFoldParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(KFoldParam, FoldsPartitionTheSamples) {
+  const auto [n, k] = GetParam();
+  const auto folds = kfold_splits(n, k, 42);
+  ASSERT_EQ(folds.size(), k);
+
+  // Validation sets are disjoint and cover 0..n-1.
+  std::set<std::size_t> all_validation;
+  for (const Fold& f : folds) {
+    for (std::size_t idx : f.validation_indices) {
+      EXPECT_TRUE(all_validation.insert(idx).second)
+          << "duplicate validation index " << idx;
+    }
+  }
+  EXPECT_EQ(all_validation.size(), n);
+  EXPECT_EQ(*all_validation.rbegin(), n - 1);
+
+  for (const Fold& f : folds) {
+    // Train + validation of each fold = everything, disjointly.
+    EXPECT_EQ(f.train_indices.size() + f.validation_indices.size(), n);
+    std::set<std::size_t> train(f.train_indices.begin(),
+                                f.train_indices.end());
+    for (std::size_t idx : f.validation_indices) {
+      EXPECT_EQ(train.count(idx), 0u);
+    }
+    // Fold sizes balanced within one.
+    EXPECT_LE(f.validation_indices.size(), n / k + 1);
+    EXPECT_GE(f.validation_indices.size(), n / k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KFoldParam,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{10, 2},
+                      std::pair<std::size_t, std::size_t>{10, 10},
+                      std::pair<std::size_t, std::size_t>{23, 5},
+                      std::pair<std::size_t, std::size_t>{100, 10},
+                      std::pair<std::size_t, std::size_t>{101, 10},
+                      std::pair<std::size_t, std::size_t>{7, 3}));
+
+}  // namespace
+}  // namespace hp::stats

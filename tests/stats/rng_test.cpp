@@ -1,0 +1,169 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hp::stats {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsLo) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform(3.0, 3.0), 3.0);
+}
+
+TEST(Rng, UniformInvertedRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // hits all values
+}
+
+TEST(Rng, UniformIntInvertedThrows) {
+  Rng rng(6);
+  EXPECT_THROW((void)rng.uniform_int(3, 1), std::invalid_argument);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaledMeanSd) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, GaussianZeroSdIsDeterministic) {
+  Rng rng(9);
+  EXPECT_EQ(rng.gaussian(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, GaussianNegativeSdThrows) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndDeterministic) {
+  Rng parent1(12);
+  Rng parent2(12);
+  Rng c1 = parent1.child(1);
+  Rng c2 = parent2.child(1);
+  EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+  Rng p3(12);
+  Rng other = p3.child(2);
+  EXPECT_NE(c1.uniform(), other.uniform());
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(13);
+  const auto perm = rng.permutation(20);
+  ASSERT_EQ(perm.size(), 20u);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 19u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(14);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(15);
+  const auto a = rng.permutation(50);
+  const auto b = rng.permutation(50);
+  EXPECT_NE(a, b);
+}
+
+TEST(Splitmix64, DeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  // Adjacent inputs map far apart (avalanche sanity check).
+  const std::uint64_t d = splitmix64(100) ^ splitmix64(101);
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += (d >> i) & 1u;
+  EXPECT_GT(bits, 10);
+}
+
+}  // namespace
+}  // namespace hp::stats

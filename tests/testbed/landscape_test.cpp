@@ -1,0 +1,157 @@
+#include "testbed/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hp::testbed {
+namespace {
+
+class LandscapeTest : public ::testing::Test {
+ protected:
+  LandscapeTest()
+      : mnist_(core::mnist_problem()),
+        cifar_(core::cifar10_problem()),
+        mnist_land_(mnist_, mnist_landscape()),
+        cifar_land_(cifar_, cifar10_landscape()) {}
+
+  core::Configuration mnist_config(double lr = 0.01, double momentum = 0.85,
+                                   double features = 50.0) const {
+    return {features, 3.0, 2.0, 400.0, lr, momentum};
+  }
+
+  core::BenchmarkProblem mnist_;
+  core::BenchmarkProblem cifar_;
+  ErrorLandscape mnist_land_;
+  ErrorLandscape cifar_land_;
+};
+
+TEST_F(LandscapeTest, ValidatesParams) {
+  LandscapeParams bad = mnist_landscape();
+  bad.floor_error = 0.95;  // above chance
+  EXPECT_THROW(ErrorLandscape(mnist_, bad), std::invalid_argument);
+  bad = mnist_landscape();
+  bad.total_epochs = 0;
+  EXPECT_THROW(ErrorLandscape(mnist_, bad), std::invalid_argument);
+}
+
+TEST_F(LandscapeTest, DeterministicPerConfigAndSeed) {
+  const auto c = mnist_config();
+  EXPECT_DOUBLE_EQ(mnist_land_.final_error(c, 1), mnist_land_.final_error(c, 1));
+  EXPECT_NE(mnist_land_.final_error(c, 1), mnist_land_.final_error(c, 2));
+}
+
+TEST_F(LandscapeTest, ErrorsWithinPhysicalRange) {
+  stats::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = mnist_.space().sample(rng);
+    const double e = mnist_land_.final_error(c, 7);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST_F(LandscapeTest, HighEffectiveLearningRateDiverges) {
+  // lr 0.1 with momentum 0.95: effective lr = 2.0 >> threshold.
+  EXPECT_TRUE(mnist_land_.diverges(mnist_config(0.1, 0.95), 1));
+  // lr 0.002 with momentum 0.8: effective lr = 0.01, safe.
+  EXPECT_FALSE(mnist_land_.diverges(mnist_config(0.002, 0.8), 1));
+}
+
+TEST_F(LandscapeTest, DivergedConfigsSitAtChanceLevel) {
+  const auto c = mnist_config(0.1, 0.95);
+  ASSERT_TRUE(mnist_land_.diverges(c, 1));
+  EXPECT_GE(mnist_land_.final_error(c, 1), 0.8);
+}
+
+TEST_F(LandscapeTest, DivergenceRateInPaperRegime) {
+  // A noticeable chunk of the space diverges (motivating early
+  // termination), but not the majority.
+  stats::Rng rng(5);
+  int diverged = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (cifar_land_.diverges(cifar_.space().sample(rng), 11)) ++diverged;
+  }
+  const double rate = static_cast<double>(diverged) / n;
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST_F(LandscapeTest, BiggerNetworksAreMoreAccurate) {
+  // At fixed good training params, CIFAR error decreases with capacity.
+  core::Configuration small{20, 3, 2, 20, 3, 2, 20, 3, 2, 200, 0.01, 0.8, 0.001};
+  core::Configuration large{80, 3, 2, 80, 3, 2, 80, 3, 2, 700, 0.01, 0.8, 0.001};
+  EXPECT_GT(cifar_land_.log10_capacity(large),
+            cifar_land_.log10_capacity(small));
+  EXPECT_LT(cifar_land_.final_error(large, 1),
+            cifar_land_.final_error(small, 1));
+}
+
+TEST_F(LandscapeTest, LearningRateTuningMatters) {
+  const double tuned = mnist_land_.final_error(mnist_config(0.015, 0.85), 1);
+  const double detuned = mnist_land_.final_error(mnist_config(0.001, 0.85), 1);
+  EXPECT_LT(tuned, detuned);
+}
+
+TEST_F(LandscapeTest, MnistFloorsNearPaperBestError) {
+  // The paper's best MNIST error is ~0.79-0.81%; a well-tuned config must
+  // land close to that regime.
+  const double e = mnist_land_.final_error(mnist_config(0.005, 0.9, 60.0), 1);
+  EXPECT_LT(e, 0.02);
+  EXPECT_GT(e, 0.005);
+}
+
+TEST_F(LandscapeTest, CifarFloorsNearPaperBestError) {
+  // Paper CIFAR-10 best ~21.8%.
+  core::Configuration good{70, 3, 2, 70, 3, 2, 70, 3, 1,
+                           650, 0.012, 0.9, 0.001};
+  const double e = cifar_land_.final_error(good, 1);
+  EXPECT_LT(e, 0.26);
+  EXPECT_GT(e, 0.19);
+}
+
+TEST_F(LandscapeTest, LearningCurveDecaysToFinalError) {
+  const auto c = mnist_config();
+  ASSERT_FALSE(mnist_land_.diverges(c, 1));
+  const auto curve = mnist_land_.learning_curve(c, 1);
+  ASSERT_EQ(curve.size(), mnist_landscape().total_epochs);
+  // Starts near chance, ends near the final error.
+  EXPECT_GT(curve.front(), 0.5);
+  EXPECT_NEAR(curve.back(), mnist_land_.final_error(c, 1), 0.01);
+  // Roughly monotone decreasing (tolerate small noise wobbles).
+  int increases = 0;
+  for (std::size_t e = 1; e < curve.size(); ++e) {
+    if (curve[e] > curve[e - 1] + 0.02) ++increases;
+  }
+  EXPECT_LE(increases, 2);
+}
+
+TEST_F(LandscapeTest, DivergingCurveStaysAtChance) {
+  const auto c = mnist_config(0.1, 0.95);
+  ASSERT_TRUE(mnist_land_.diverges(c, 1));
+  const auto curve = mnist_land_.learning_curve(c, 1);
+  for (double e : curve) EXPECT_GE(e, 0.8);
+}
+
+TEST_F(LandscapeTest, EarlyEpochsSeparateDivergersFromConvergers) {
+  // The basis of Figure 3 (right): after 2-3 epochs a diverging config
+  // reads at chance while a converging one has clearly dropped.
+  const auto diverging = mnist_config(0.1, 0.95);
+  const auto converging = mnist_config(0.01, 0.85);
+  const double d2 = mnist_land_.error_at_epoch(diverging, 2, 1);
+  const double c2 = mnist_land_.error_at_epoch(converging, 2, 1);
+  EXPECT_GT(d2, 0.8);
+  EXPECT_LT(c2, 0.7);
+}
+
+TEST_F(LandscapeTest, CapacityMeasureTracksWeights) {
+  const auto c = mnist_config();
+  const nn::CnnSpec spec = mnist_.to_cnn_spec(c);
+  const double expected =
+      std::log10(static_cast<double>(nn::compute_workload(spec).total_weights));
+  EXPECT_NEAR(mnist_land_.log10_capacity(c), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace hp::testbed

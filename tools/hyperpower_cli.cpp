@@ -1,0 +1,320 @@
+// hyperpower — command-line front end to the framework.
+//
+// Subcommands:
+//   profile   profile random architectures on a device, print/export CSV
+//   train     fit the power/memory models and save them to files
+//   optimize  run a constrained search (any method, both modes)
+//   pareto    run a search and print its error/power Pareto front
+//   devices   list the built-in device database
+//
+// Examples:
+//   hyperpower profile --problem cifar10 --device "GTX 1070" --samples 100
+//   hyperpower train --problem mnist --device "Tegra TX1" \
+//       --power-model /tmp/power.hpm
+//   hyperpower optimize --problem cifar10 --device "GTX 1070" \
+//       --method hw-ieci --power-budget 90 --memory-budget 720 \
+//       --hours 5 --seed 1 --trace /tmp/trace.csv
+//   hyperpower pareto --problem cifar10 --device "GTX 1070" --hours 2
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "core/framework.hpp"
+#include "core/model_io.hpp"
+#include "core/pareto.hpp"
+#include "hw/profiler.hpp"
+#include "testbed/testbed_objective.hpp"
+
+namespace {
+
+using namespace hp;
+
+int usage() {
+  std::fprintf(stderr, R"(usage: hyperpower <command> [options]
+
+commands:
+  profile   --problem mnist|cifar10 --device NAME [--samples N] [--seed S]
+            [--csv PATH]
+  train     --problem P --device NAME [--samples N] [--seed S]
+            [--power-model PATH] [--memory-model PATH]
+  optimize  --problem P --device NAME --method rand|rand-walk|hw-cwei|hw-ieci
+            [--power-budget W] [--memory-budget MB] [--hours H | --evals N]
+            [--default-mode] [--seed S] [--trace PATH]
+  pareto    --problem P --device NAME [--power-budget W] [--hours H] [--seed S]
+  devices
+)");
+  return 2;
+}
+
+core::BenchmarkProblem problem_by_name(const std::string& name) {
+  if (name == "mnist") return core::mnist_problem();
+  if (name == "cifar10") return core::cifar10_problem();
+  if (name == "tiny_mnist") return core::tiny_mnist_problem();
+  if (name == "tiny_cifar") return core::tiny_cifar_problem();
+  throw std::invalid_argument("unknown problem '" + name +
+                              "' (mnist|cifar10|tiny_mnist|tiny_cifar)");
+}
+
+testbed::LandscapeParams landscape_by_name(const std::string& name) {
+  return name == "cifar10" || name == "tiny_cifar"
+             ? testbed::cifar10_landscape()
+             : testbed::mnist_landscape();
+}
+
+hw::DeviceSpec device_by_name(const std::string& name) {
+  const auto device = hw::find_device(name);
+  if (!device) {
+    throw std::invalid_argument("unknown device '" + name +
+                                "' (see `hyperpower devices`)");
+  }
+  return *device;
+}
+
+core::Method method_by_name(const std::string& name) {
+  if (name == "rand") return core::Method::Rand;
+  if (name == "rand-walk") return core::Method::RandWalk;
+  if (name == "hw-cwei") return core::Method::HwCwei;
+  if (name == "hw-ieci") return core::Method::HwIeci;
+  throw std::invalid_argument("unknown method '" + name +
+                              "' (rand|rand-walk|hw-cwei|hw-ieci)");
+}
+
+std::vector<hw::ProfileSample> run_profiling(const core::BenchmarkProblem& problem,
+                                             const hw::DeviceSpec& device,
+                                             std::size_t samples,
+                                             std::uint64_t seed) {
+  hw::GpuSimulator simulator(device, seed ^ 0xbeefULL);
+  hw::InferenceProfiler profiler(simulator);
+  stats::Rng rng(seed);
+  std::vector<nn::CnnSpec> specs;
+  std::size_t attempts = 0;
+  while (specs.size() < samples && attempts < 20 * samples) {
+    ++attempts;
+    const auto config = problem.space().sample(rng);
+    const auto spec = problem.to_cnn_spec(config);
+    if (nn::is_feasible(spec)) specs.push_back(spec);
+  }
+  return profiler.profile_all(specs);
+}
+
+int cmd_devices() {
+  std::printf("%-12s %5s %8s %8s %8s %s\n", "name", "SMs", "TFLOPS", "TDP",
+              "idle", "memory counter");
+  for (const hw::DeviceSpec& d : hw::all_devices()) {
+    std::printf("%-12s %5zu %8.2f %6.0f W %6.1f W %s\n", d.name.c_str(),
+                d.sm_count, d.fp32_tflops, d.tdp_w, d.idle_power_w,
+                d.supports_memory_query ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_profile(const cli::Args& args) {
+  args.require_known({"problem", "device", "samples", "seed", "csv"});
+  const auto problem = problem_by_name(args.get_or("problem", "mnist"));
+  const auto device = device_by_name(args.get_or("device", "GTX 1070"));
+  const auto samples = run_profiling(
+      problem, device, static_cast<std::size_t>(args.get_int_or("samples", 50)),
+      static_cast<std::uint64_t>(args.get_int_or("seed", 2018)));
+  std::printf("profiled %zu configurations on %s\n", samples.size(),
+              device.name.c_str());
+  const auto emit = [&](std::ostream& os) {
+    os << "power_w,memory_mb,latency_ms";
+    for (const auto& p : problem.space().parameters()) {
+      if (p.structural) os << ',' << p.name;
+    }
+    os << '\n';
+    for (const auto& s : samples) {
+      os << s.power_w << ',';
+      if (s.memory_mb) os << *s.memory_mb;
+      os << ',' << s.latency_ms;
+      for (double z : s.z) os << ',' << z;
+      os << '\n';
+    }
+  };
+  if (const auto path = args.get("csv")) {
+    std::ofstream os(*path);
+    if (!os) throw std::runtime_error("cannot open " + *path);
+    emit(os);
+    std::printf("wrote %s\n", path->c_str());
+  } else {
+    emit(std::cout);
+  }
+  return 0;
+}
+
+int cmd_train(const cli::Args& args) {
+  args.require_known(
+      {"problem", "device", "samples", "seed", "power-model", "memory-model"});
+  const auto problem = problem_by_name(args.get_or("problem", "mnist"));
+  const auto device = device_by_name(args.get_or("device", "GTX 1070"));
+  const auto samples = run_profiling(
+      problem, device,
+      static_cast<std::size_t>(args.get_int_or("samples", 100)),
+      static_cast<std::uint64_t>(args.get_int_or("seed", 2018)));
+  const auto power = core::train_power_model(samples);
+  std::printf("power model: RMSPE %.2f%% over %zu samples\n", power.cv.rmspe,
+              power.sample_count);
+  if (const auto path = args.get("power-model")) {
+    core::save_hardware_model_file(power.model, *path);
+    std::printf("wrote %s\n", path->c_str());
+  }
+  if (const auto memory = core::train_memory_model(samples)) {
+    std::printf("memory model: RMSPE %.2f%%\n", memory->cv.rmspe);
+    if (const auto path = args.get("memory-model")) {
+      core::save_hardware_model_file(memory->model, *path);
+      std::printf("wrote %s\n", path->c_str());
+    }
+  } else {
+    std::printf("memory model: platform exposes no memory counter\n");
+  }
+  return 0;
+}
+
+struct SearchSetup {
+  core::BenchmarkProblem problem;
+  hw::DeviceSpec device;
+  core::ConstraintBudgets budgets;
+};
+
+SearchSetup search_setup(const cli::Args& args) {
+  SearchSetup s{problem_by_name(args.get_or("problem", "mnist")),
+                device_by_name(args.get_or("device", "GTX 1070")),
+                {}};
+  s.budgets.power_w = args.get_double("power-budget");
+  s.budgets.memory_mb = args.get_double("memory-budget");
+  return s;
+}
+
+int cmd_optimize(const cli::Args& args) {
+  args.require_known({"problem", "device", "method", "power-budget",
+                      "memory-budget", "hours", "evals", "default-mode",
+                      "seed", "trace", "profile-samples", "power-model",
+                      "memory-model"});
+  SearchSetup s = search_setup(args);
+  testbed::TestbedObjective objective(
+      s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
+      testbed::calibrated_options(s.problem.name(), s.device));
+  core::HyperPowerFramework framework(s.problem, objective, s.budgets);
+
+  core::FrameworkOptions options;
+  options.method = method_by_name(args.get_or("method", "hw-ieci"));
+  options.hyperpower_mode = !args.has("default-mode");
+  options.optimizer.seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  if (const auto hours = args.get_double("hours")) {
+    options.optimizer.max_runtime_s = *hours * 3600.0;
+  }
+  if (const auto evals = args.get_int("evals")) {
+    options.optimizer.max_function_evaluations =
+        static_cast<std::size_t>(*evals);
+  }
+  if (!args.has("hours") && !args.has("evals")) {
+    options.optimizer.max_function_evaluations = 20;
+  }
+
+  if (options.hyperpower_mode && s.budgets.any()) {
+    if (args.has("power-model") || args.has("memory-model")) {
+      // Reuse models saved by `hyperpower train` — the paper's offline
+      // phase run once, amortized over many searches.
+      std::optional<core::HardwareModel> power, memory;
+      if (const auto path = args.get("power-model")) {
+        power = core::load_hardware_model_file(*path);
+      }
+      if (const auto path = args.get("memory-model")) {
+        memory = core::load_hardware_model_file(*path);
+      }
+      framework.set_hardware_models(std::move(power), std::move(memory));
+      std::printf("loaded hardware models from disk\n");
+    } else {
+      hw::GpuSimulator simulator(s.device, 7);
+      hw::InferenceProfiler profiler(simulator);
+      const auto n = framework.train_hardware_models(
+          profiler,
+          static_cast<std::size_t>(args.get_int_or("profile-samples", 80)),
+          2018);
+      std::printf("trained hardware models from %zu profiled configs "
+                  "(power RMSPE %.2f%%)\n",
+                  n, framework.power_model()->cv.rmspe);
+    }
+  }
+
+  const auto result = framework.optimize(options);
+  const auto& trace = result.run.trace;
+  std::printf("%s [%s]: %zu samples, %zu trained, %zu filtered, "
+              "%zu early-terminated, %zu measured violations\n",
+              result.method_name.c_str(),
+              result.hyperpower_mode ? "HyperPower" : "default", trace.size(),
+              trace.completed_count(), trace.model_filtered_count(),
+              trace.early_terminated_count(),
+              trace.measured_violation_count());
+  if (result.run.best) {
+    const auto& best = *result.run.best;
+    std::printf("best: %.2f%% error", best.test_error * 100.0);
+    if (best.measured_power_w) std::printf(" @ %.1f W", *best.measured_power_w);
+    if (best.measured_memory_mb) {
+      std::printf(" / %.0f MB", *best.measured_memory_mb);
+    }
+    std::printf("\narchitecture: %s\n",
+                s.problem.to_cnn_spec(best.config).to_string().c_str());
+  } else {
+    std::printf("no feasible configuration found\n");
+  }
+  if (const auto path = args.get("trace")) {
+    std::ofstream os(*path);
+    if (!os) throw std::runtime_error("cannot open " + *path);
+    trace.write_csv(os);
+    std::printf("wrote %s\n", path->c_str());
+  }
+  return result.run.best ? 0 : 1;
+}
+
+int cmd_pareto(const cli::Args& args) {
+  args.require_known(
+      {"problem", "device", "power-budget", "memory-budget", "hours", "seed"});
+  SearchSetup s = search_setup(args);
+  testbed::TestbedObjective objective(
+      s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
+      testbed::calibrated_options(s.problem.name(), s.device));
+  core::HyperPowerFramework framework(s.problem, objective, s.budgets);
+  if (s.budgets.any()) {
+    hw::GpuSimulator simulator(s.device, 7);
+    hw::InferenceProfiler profiler(simulator);
+    (void)framework.train_hardware_models(profiler, 80, 2018);
+  }
+  core::FrameworkOptions options;
+  options.method = core::Method::HwIeci;
+  options.hyperpower_mode = s.budgets.any();
+  options.optimizer.max_runtime_s = args.get_double_or("hours", 2.0) * 3600.0;
+  options.optimizer.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const auto result = framework.optimize(options);
+  const auto front = core::pareto_front(result.run.trace);
+  std::printf("error/power Pareto front (%zu points):\n", front.size());
+  std::printf("%10s %10s  architecture\n", "power [W]", "error");
+  for (const auto& p : front) {
+    std::printf("%10.1f %9.2f%%  %s\n", p.power_w, p.test_error * 100.0,
+                s.problem.to_cnn_spec(p.config).to_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const cli::Args args(argc - 1, argv + 1);
+    if (command == "devices") return cmd_devices();
+    if (command == "profile") return cmd_profile(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "pareto") return cmd_pareto(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
