@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_design_space"
+  "../bench/bench_fig1_design_space.pdb"
+  "CMakeFiles/bench_fig1_design_space.dir/fig1_design_space.cpp.o"
+  "CMakeFiles/bench_fig1_design_space.dir/fig1_design_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

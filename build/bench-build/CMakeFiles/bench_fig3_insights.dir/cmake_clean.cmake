@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_insights"
+  "../bench/bench_fig3_insights.pdb"
+  "CMakeFiles/bench_fig3_insights.dir/fig3_insights.cpp.o"
+  "CMakeFiles/bench_fig3_insights.dir/fig3_insights.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

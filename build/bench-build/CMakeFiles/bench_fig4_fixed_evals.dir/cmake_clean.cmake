@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_fixed_evals"
+  "../bench/bench_fig4_fixed_evals.pdb"
+  "CMakeFiles/bench_fig4_fixed_evals.dir/fig4_fixed_evals.cpp.o"
+  "CMakeFiles/bench_fig4_fixed_evals.dir/fig4_fixed_evals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fixed_evals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_models.cpp" "bench-build/CMakeFiles/bench_table1_models.dir/table1_models.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table1_models.dir/table1_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/hp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/hp_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/hp_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

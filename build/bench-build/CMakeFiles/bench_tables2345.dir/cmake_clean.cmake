@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables2345"
+  "../bench/bench_tables2345.pdb"
+  "CMakeFiles/bench_tables2345.dir/tables2345.cpp.o"
+  "CMakeFiles/bench_tables2345.dir/tables2345.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables2345.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

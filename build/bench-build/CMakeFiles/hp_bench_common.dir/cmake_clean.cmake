@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/hp_bench_common.dir/common/experiment.cpp.o.d"
+  "CMakeFiles/hp_bench_common.dir/common/table.cpp.o"
+  "CMakeFiles/hp_bench_common.dir/common/table.cpp.o.d"
+  "libhp_bench_common.a"
+  "libhp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_power_constrained.dir/cifar_power_constrained.cpp.o"
+  "CMakeFiles/cifar_power_constrained.dir/cifar_power_constrained.cpp.o.d"
+  "cifar_power_constrained"
+  "cifar_power_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_power_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cifar_power_constrained.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware_selection.dir/energy_aware_selection.cpp.o"
+  "CMakeFiles/energy_aware_selection.dir/energy_aware_selection.cpp.o.d"
+  "energy_aware_selection"
+  "energy_aware_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

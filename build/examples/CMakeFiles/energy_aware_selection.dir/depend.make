@@ -1,0 +1,2 @@
+# Empty dependencies file for energy_aware_selection.
+# This may be replaced when dependencies are built.

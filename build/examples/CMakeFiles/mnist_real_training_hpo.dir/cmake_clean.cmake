@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_real_training_hpo.dir/mnist_real_training_hpo.cpp.o"
+  "CMakeFiles/mnist_real_training_hpo.dir/mnist_real_training_hpo.cpp.o.d"
+  "mnist_real_training_hpo"
+  "mnist_real_training_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_real_training_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

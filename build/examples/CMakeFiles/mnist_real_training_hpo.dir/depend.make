@@ -1,0 +1,2 @@
+# Empty dependencies file for mnist_real_training_hpo.
+# This may be replaced when dependencies are built.

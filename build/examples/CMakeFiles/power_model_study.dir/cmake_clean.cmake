@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_model_study.dir/power_model_study.cpp.o"
+  "CMakeFiles/power_model_study.dir/power_model_study.cpp.o.d"
+  "power_model_study"
+  "power_model_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_model_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquisition.cpp" "src/core/CMakeFiles/hp_core.dir/acquisition.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/acquisition.cpp.o.d"
+  "/root/repo/src/core/bayes_opt.cpp" "src/core/CMakeFiles/hp_core.dir/bayes_opt.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/bayes_opt.cpp.o.d"
+  "/root/repo/src/core/candidate_pool.cpp" "src/core/CMakeFiles/hp_core.dir/candidate_pool.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/candidate_pool.cpp.o.d"
+  "/root/repo/src/core/clock.cpp" "src/core/CMakeFiles/hp_core.dir/clock.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/clock.cpp.o.d"
+  "/root/repo/src/core/early_termination.cpp" "src/core/CMakeFiles/hp_core.dir/early_termination.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/early_termination.cpp.o.d"
+  "/root/repo/src/core/extra_acquisitions.cpp" "src/core/CMakeFiles/hp_core.dir/extra_acquisitions.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/extra_acquisitions.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/hp_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/grid_search.cpp" "src/core/CMakeFiles/hp_core.dir/grid_search.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/grid_search.cpp.o.d"
+  "/root/repo/src/core/hw_models.cpp" "src/core/CMakeFiles/hp_core.dir/hw_models.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/hw_models.cpp.o.d"
+  "/root/repo/src/core/layerwise_models.cpp" "src/core/CMakeFiles/hp_core.dir/layerwise_models.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/layerwise_models.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/hp_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/hp_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/hp_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/hp_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/random_search.cpp" "src/core/CMakeFiles/hp_core.dir/random_search.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/random_search.cpp.o.d"
+  "/root/repo/src/core/random_walk.cpp" "src/core/CMakeFiles/hp_core.dir/random_walk.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/random_walk.cpp.o.d"
+  "/root/repo/src/core/run_trace.cpp" "src/core/CMakeFiles/hp_core.dir/run_trace.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/run_trace.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "src/core/CMakeFiles/hp_core.dir/search_space.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/search_space.cpp.o.d"
+  "/root/repo/src/core/spaces.cpp" "src/core/CMakeFiles/hp_core.dir/spaces.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/spaces.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/hp_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/hp_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/hp_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/gaussian_process.cpp" "src/gp/CMakeFiles/hp_gp.dir/gaussian_process.cpp.o" "gcc" "src/gp/CMakeFiles/hp_gp.dir/gaussian_process.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/gp/CMakeFiles/hp_gp.dir/kernel.cpp.o" "gcc" "src/gp/CMakeFiles/hp_gp.dir/kernel.cpp.o.d"
+  "/root/repo/src/gp/kernel_fit.cpp" "src/gp/CMakeFiles/hp_gp.dir/kernel_fit.cpp.o" "gcc" "src/gp/CMakeFiles/hp_gp.dir/kernel_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_gp.dir/gaussian_process.cpp.o"
+  "CMakeFiles/hp_gp.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/hp_gp.dir/kernel.cpp.o"
+  "CMakeFiles/hp_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/hp_gp.dir/kernel_fit.cpp.o"
+  "CMakeFiles/hp_gp.dir/kernel_fit.cpp.o.d"
+  "libhp_gp.a"
+  "libhp_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/hp_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/hp_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/hp_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/hp_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/gpu_simulator.cpp" "src/hw/CMakeFiles/hp_hw.dir/gpu_simulator.cpp.o" "gcc" "src/hw/CMakeFiles/hp_hw.dir/gpu_simulator.cpp.o.d"
+  "/root/repo/src/hw/nvml.cpp" "src/hw/CMakeFiles/hp_hw.dir/nvml.cpp.o" "gcc" "src/hw/CMakeFiles/hp_hw.dir/nvml.cpp.o.d"
+  "/root/repo/src/hw/profiler.cpp" "src/hw/CMakeFiles/hp_hw.dir/profiler.cpp.o" "gcc" "src/hw/CMakeFiles/hp_hw.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

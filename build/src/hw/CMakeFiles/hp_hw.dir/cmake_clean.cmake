@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/hp_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hp_hw.dir/device.cpp.o"
+  "CMakeFiles/hp_hw.dir/device.cpp.o.d"
+  "CMakeFiles/hp_hw.dir/gpu_simulator.cpp.o"
+  "CMakeFiles/hp_hw.dir/gpu_simulator.cpp.o.d"
+  "CMakeFiles/hp_hw.dir/nvml.cpp.o"
+  "CMakeFiles/hp_hw.dir/nvml.cpp.o.d"
+  "CMakeFiles/hp_hw.dir/profiler.cpp.o"
+  "CMakeFiles/hp_hw.dir/profiler.cpp.o.d"
+  "libhp_hw.a"
+  "libhp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/hp_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hp_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/hp_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/hp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hp_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/hp_linalg.dir/qr.cpp.o"
+  "CMakeFiles/hp_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/hp_linalg.dir/vector.cpp.o"
+  "CMakeFiles/hp_linalg.dir/vector.cpp.o.d"
+  "libhp_linalg.a"
+  "libhp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/hp_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/hp_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/hp_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/extra_layers.cpp" "src/nn/CMakeFiles/hp_nn.dir/extra_layers.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/extra_layers.cpp.o.d"
+  "/root/repo/src/nn/idx_loader.cpp" "src/nn/CMakeFiles/hp_nn.dir/idx_loader.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/idx_loader.cpp.o.d"
+  "/root/repo/src/nn/initializer.cpp" "src/nn/CMakeFiles/hp_nn.dir/initializer.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/initializer.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/hp_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/hp_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/hp_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/sgd_trainer.cpp" "src/nn/CMakeFiles/hp_nn.dir/sgd_trainer.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/sgd_trainer.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/hp_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/softmax.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/hp_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/hp_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

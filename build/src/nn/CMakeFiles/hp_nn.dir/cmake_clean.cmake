@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/hp_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/dataset.cpp.o"
+  "CMakeFiles/hp_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/dense.cpp.o"
+  "CMakeFiles/hp_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/extra_layers.cpp.o"
+  "CMakeFiles/hp_nn.dir/extra_layers.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/idx_loader.cpp.o"
+  "CMakeFiles/hp_nn.dir/idx_loader.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/initializer.cpp.o"
+  "CMakeFiles/hp_nn.dir/initializer.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/layers.cpp.o"
+  "CMakeFiles/hp_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/network.cpp.o"
+  "CMakeFiles/hp_nn.dir/network.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/pooling.cpp.o"
+  "CMakeFiles/hp_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/sgd_trainer.cpp.o"
+  "CMakeFiles/hp_nn.dir/sgd_trainer.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/softmax.cpp.o"
+  "CMakeFiles/hp_nn.dir/softmax.cpp.o.d"
+  "CMakeFiles/hp_nn.dir/tensor.cpp.o"
+  "CMakeFiles/hp_nn.dir/tensor.cpp.o.d"
+  "libhp_nn.a"
+  "libhp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

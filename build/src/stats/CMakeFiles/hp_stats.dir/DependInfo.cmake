@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/hp_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/hp_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/hp_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/hp_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/halton.cpp" "src/stats/CMakeFiles/hp_stats.dir/halton.cpp.o" "gcc" "src/stats/CMakeFiles/hp_stats.dir/halton.cpp.o.d"
+  "/root/repo/src/stats/kfold.cpp" "src/stats/CMakeFiles/hp_stats.dir/kfold.cpp.o" "gcc" "src/stats/CMakeFiles/hp_stats.dir/kfold.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/hp_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/hp_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/hp_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/hp_stats.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

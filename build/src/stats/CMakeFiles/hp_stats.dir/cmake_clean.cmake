@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/hp_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hp_stats.dir/distributions.cpp.o"
+  "CMakeFiles/hp_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/hp_stats.dir/halton.cpp.o"
+  "CMakeFiles/hp_stats.dir/halton.cpp.o.d"
+  "CMakeFiles/hp_stats.dir/kfold.cpp.o"
+  "CMakeFiles/hp_stats.dir/kfold.cpp.o.d"
+  "CMakeFiles/hp_stats.dir/metrics.cpp.o"
+  "CMakeFiles/hp_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/hp_stats.dir/rng.cpp.o"
+  "CMakeFiles/hp_stats.dir/rng.cpp.o.d"
+  "libhp_stats.a"
+  "libhp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_testbed.dir/landscape.cpp.o"
+  "CMakeFiles/hp_testbed.dir/landscape.cpp.o.d"
+  "CMakeFiles/hp_testbed.dir/nn_objective.cpp.o"
+  "CMakeFiles/hp_testbed.dir/nn_objective.cpp.o.d"
+  "CMakeFiles/hp_testbed.dir/testbed_objective.cpp.o"
+  "CMakeFiles/hp_testbed.dir/testbed_objective.cpp.o.d"
+  "libhp_testbed.a"
+  "libhp_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_common.dir/bench_common/bench_common_test.cpp.o"
+  "CMakeFiles/test_bench_common.dir/bench_common/bench_common_test.cpp.o.d"
+  "test_bench_common"
+  "test_bench_common.pdb"
+  "test_bench_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/acquisition_test.cpp" "tests/CMakeFiles/test_core.dir/core/acquisition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/acquisition_test.cpp.o.d"
+  "/root/repo/tests/core/candidate_pool_test.cpp" "tests/CMakeFiles/test_core.dir/core/candidate_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/candidate_pool_test.cpp.o.d"
+  "/root/repo/tests/core/early_termination_test.cpp" "tests/CMakeFiles/test_core.dir/core/early_termination_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/early_termination_test.cpp.o.d"
+  "/root/repo/tests/core/extra_acquisitions_test.cpp" "tests/CMakeFiles/test_core.dir/core/extra_acquisitions_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extra_acquisitions_test.cpp.o.d"
+  "/root/repo/tests/core/grid_search_test.cpp" "tests/CMakeFiles/test_core.dir/core/grid_search_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/grid_search_test.cpp.o.d"
+  "/root/repo/tests/core/hw_models_test.cpp" "tests/CMakeFiles/test_core.dir/core/hw_models_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hw_models_test.cpp.o.d"
+  "/root/repo/tests/core/layerwise_models_test.cpp" "tests/CMakeFiles/test_core.dir/core/layerwise_models_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/layerwise_models_test.cpp.o.d"
+  "/root/repo/tests/core/model_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_io_test.cpp.o.d"
+  "/root/repo/tests/core/optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/pareto_test.cpp" "tests/CMakeFiles/test_core.dir/core/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pareto_test.cpp.o.d"
+  "/root/repo/tests/core/run_trace_test.cpp" "tests/CMakeFiles/test_core.dir/core/run_trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/run_trace_test.cpp.o.d"
+  "/root/repo/tests/core/search_space_test.cpp" "tests/CMakeFiles/test_core.dir/core/search_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/search_space_test.cpp.o.d"
+  "/root/repo/tests/core/spaces_test.cpp" "tests/CMakeFiles/test_core.dir/core/spaces_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spaces_test.cpp.o.d"
+  "/root/repo/tests/core/trace_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trace_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/hp_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/hp_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/acquisition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/acquisition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/candidate_pool_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/candidate_pool_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/early_termination_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/early_termination_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extra_acquisitions_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extra_acquisitions_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/grid_search_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/grid_search_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/hw_models_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/hw_models_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/layerwise_models_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/layerwise_models_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/model_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/model_io_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/optimizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/optimizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pareto_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pareto_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/run_trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/run_trace_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/search_space_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/search_space_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/spaces_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/spaces_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trace_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trace_io_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp.dir/gp/gaussian_process_test.cpp.o"
+  "CMakeFiles/test_gp.dir/gp/gaussian_process_test.cpp.o.d"
+  "CMakeFiles/test_gp.dir/gp/kernel_fit_test.cpp.o"
+  "CMakeFiles/test_gp.dir/gp/kernel_fit_test.cpp.o.d"
+  "CMakeFiles/test_gp.dir/gp/kernel_test.cpp.o"
+  "CMakeFiles/test_gp.dir/gp/kernel_test.cpp.o.d"
+  "test_gp"
+  "test_gp.pdb"
+  "test_gp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

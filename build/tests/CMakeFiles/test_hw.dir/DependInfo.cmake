@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/cost_model_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/cost_model_test.cpp.o.d"
+  "/root/repo/tests/hw/device_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/device_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/device_test.cpp.o.d"
+  "/root/repo/tests/hw/gpu_simulator_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/gpu_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/gpu_simulator_test.cpp.o.d"
+  "/root/repo/tests/hw/layer_profiling_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/layer_profiling_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/layer_profiling_test.cpp.o.d"
+  "/root/repo/tests/hw/nvml_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/nvml_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/nvml_test.cpp.o.d"
+  "/root/repo/tests/hw/profiler_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/profiler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/hp_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/hp_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

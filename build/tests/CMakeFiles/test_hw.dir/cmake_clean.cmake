@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/cost_model_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/device_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/device_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/gpu_simulator_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/gpu_simulator_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/layer_profiling_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/layer_profiling_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/nvml_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/nvml_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/profiler_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/profiler_test.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

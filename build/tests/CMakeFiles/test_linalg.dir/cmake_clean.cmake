@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/cholesky_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/cholesky_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/least_squares_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/least_squares_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/qr_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/qr_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/dataset_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o.d"
+  "/root/repo/tests/nn/extra_layers_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/extra_layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/extra_layers_test.cpp.o.d"
+  "/root/repo/tests/nn/gradient_check_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gradient_check_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gradient_check_test.cpp.o.d"
+  "/root/repo/tests/nn/idx_loader_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/idx_loader_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/idx_loader_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/network_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/network_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/hp_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/hp_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

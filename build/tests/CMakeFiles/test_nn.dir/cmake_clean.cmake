@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/extra_layers_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/extra_layers_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/gradient_check_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/gradient_check_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/idx_loader_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/idx_loader_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/network_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/network_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/distributions_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/distributions_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/halton_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/halton_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/kfold_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/kfold_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/metrics_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/metrics_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/rng_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/rng_test.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_cli.dir/__/src/cli/args.cpp.o"
+  "CMakeFiles/hp_cli.dir/__/src/cli/args.cpp.o.d"
+  "libhp_cli.a"
+  "libhp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperpower.dir/hyperpower_cli.cpp.o"
+  "CMakeFiles/hyperpower.dir/hyperpower_cli.cpp.o.d"
+  "hyperpower"
+  "hyperpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
