@@ -81,6 +81,23 @@ long long Args::get_int_or(const std::string& name, long long fallback) const {
   return value ? *value : fallback;
 }
 
+std::optional<std::size_t> Args::get_uint(const std::string& name) const {
+  const auto value = get_int(name);
+  if (!value) return std::nullopt;
+  if (*value < 0) {
+    throw std::invalid_argument("option --" + name +
+                                ": expected a non-negative integer, got '" +
+                                *get(name) + "'");
+  }
+  return static_cast<std::size_t>(*value);
+}
+
+std::size_t Args::get_uint_or(const std::string& name,
+                              std::size_t fallback) const {
+  const auto value = get_uint(name);
+  return value ? *value : fallback;
+}
+
 std::vector<std::string> Args::option_names() const {
   std::vector<std::string> names;
   names.reserve(options_.size());

@@ -38,6 +38,11 @@ class Args {
   [[nodiscard]] std::optional<long long> get_int(const std::string& name) const;
   [[nodiscard]] long long get_int_or(const std::string& name,
                                      long long fallback) const;
+  /// Non-negative integer accessor; also rejects negative values.
+  [[nodiscard]] std::optional<std::size_t> get_uint(
+      const std::string& name) const;
+  [[nodiscard]] std::size_t get_uint_or(const std::string& name,
+                                        std::size_t fallback) const;
 
   /// Names of all options seen (without the leading dashes).
   [[nodiscard]] std::vector<std::string> option_names() const;

@@ -79,6 +79,34 @@ Configuration BayesOptOptimizer::propose(stats::Rng& rng) {
   return pool_.maximize(*acquisition_, ctx, rng).config;
 }
 
+std::vector<Configuration> BayesOptOptimizer::propose_batch(
+    std::size_t first_sample_index, std::size_t count) {
+  std::vector<Configuration> proposals;
+  proposals.reserve(count);
+  const std::size_t real_observations = obs_y_.size();
+  for (std::size_t j = 0; j < count; ++j) {
+    stats::Rng rng = sample_rng(first_sample_index + j);
+    Configuration config = propose(rng);
+    if (j + 1 < count && objective_gp_ != nullptr && objective_gp_->fitted()) {
+      // Lie that the pending candidate came back at the incumbent error;
+      // posterior-only refit (no kernel ML) keeps this cheap and exactly
+      // reversible.
+      obs_x_.push_back(space().encode(config));
+      obs_y_.push_back(best_feasible_y_);
+      objective_gp_->fit(rows_to_matrix(obs_x_),
+                         linalg::Vector{std::vector<double>(obs_y_)});
+    }
+    proposals.push_back(std::move(config));
+  }
+  if (obs_y_.size() > real_observations) {
+    obs_x_.resize(real_observations);
+    obs_y_.resize(real_observations);
+    objective_gp_->fit(rows_to_matrix(obs_x_),
+                       linalg::Vector{std::vector<double>(obs_y_)});
+  }
+  return proposals;
+}
+
 void BayesOptOptimizer::observe(const EvaluationRecord& record) {
   // Model-filtered samples carry no new information about the objective —
   // the a-priori models already encode their infeasibility.

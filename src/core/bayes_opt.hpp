@@ -44,6 +44,18 @@ class BayesOptOptimizer final : public Optimizer {
 
  protected:
   [[nodiscard]] Configuration propose(stats::Rng& rng) override;
+  /// BO proposals mutate sequential state (the constant-liar GP refits), so
+  /// batched rounds are produced up front on the optimizer thread.
+  [[nodiscard]] bool supports_parallel_proposals() const override {
+    return false;
+  }
+  /// Constant-liar batch: after each in-round proposal, a pseudo-observation
+  /// (candidate, best feasible error so far) is pushed and the objective GP
+  /// posterior refit, so the remaining proposals spread out instead of
+  /// re-picking the same acquisition maximum. The liars are popped and the
+  /// GP restored to the real observations before returning.
+  [[nodiscard]] std::vector<Configuration> propose_batch(
+      std::size_t first_sample_index, std::size_t count) override;
   void observe(const EvaluationRecord& record) override;
   [[nodiscard]] double proposal_overhead_s() const override;
 

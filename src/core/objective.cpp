@@ -1,6 +1,17 @@
 #include "core/objective.hpp"
 
+#include <stdexcept>
+
 namespace hp::core {
+
+EvaluationRecord Objective::evaluate_detached(
+    const Configuration& config, const EarlyTerminationRule* early_termination) {
+  (void)config;
+  (void)early_termination;
+  throw std::logic_error(
+      "Objective::evaluate_detached: this objective does not support "
+      "concurrent evaluation");
+}
 
 std::string to_string(EvaluationStatus status) {
   switch (status) {

@@ -77,6 +77,26 @@ class Objective {
       const Configuration& config,
       const EarlyTerminationRule* early_termination) = 0;
 
+  /// True when evaluate_detached() may be called, including concurrently
+  /// from several threads. Implementations return true only if a detached
+  /// evaluation is a pure function of (config, rule, objective seeds) —
+  /// independent of the order or thread in which evaluations run — which
+  /// is what keeps batched-parallel optimizer runs bit-identical to
+  /// single-threaded ones.
+  [[nodiscard]] virtual bool supports_concurrent_evaluation() const noexcept {
+    return false;
+  }
+
+  /// Order-independent counterpart of evaluate(): fills the same fields
+  /// (including cost_s) but must NOT advance the shared clock — the
+  /// batched optimizer charges cost_s itself while merging records in
+  /// canonical sample order. Only called when
+  /// supports_concurrent_evaluation() is true; the default throws
+  /// std::logic_error.
+  [[nodiscard]] virtual EvaluationRecord evaluate_detached(
+      const Configuration& config,
+      const EarlyTerminationRule* early_termination);
+
   /// The clock this objective charges its costs to.
   [[nodiscard]] virtual Clock& clock() = 0;
 };

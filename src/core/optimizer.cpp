@@ -1,6 +1,9 @@
 #include "core/optimizer.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
 
 namespace hp::core {
 
@@ -16,13 +19,60 @@ Optimizer::Optimizer(const HyperParameterSpace& space, Objective& objective,
   if (options_.max_samples == 0) {
     throw std::invalid_argument("Optimizer: max_samples must be > 0");
   }
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("Optimizer: batch_size must be > 0");
+  }
+  if (options_.num_threads == 0) {
+    throw std::invalid_argument("Optimizer: num_threads must be > 0");
+  }
 }
 
 const HardwareConstraints* Optimizer::active_constraints() const noexcept {
   return options_.use_hardware_models ? apriori_constraints_ : nullptr;
 }
 
+std::vector<Configuration> Optimizer::propose_batch(
+    std::size_t first_sample_index, std::size_t count) {
+  std::vector<Configuration> proposals;
+  proposals.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    stats::Rng rng = sample_rng(first_sample_index + j);
+    proposals.push_back(propose(rng));
+  }
+  return proposals;
+}
+
+void Optimizer::finalize_record(EvaluationRecord& record, RunTrace& trace,
+                                std::size_t& function_evaluations) {
+  // Classify against the *measured* metrics (both modes measure after
+  // training; the default mode just could not avoid the cost).
+  if (record.status == EvaluationStatus::Completed ||
+      record.status == EvaluationStatus::EarlyTerminated) {
+    ++function_evaluations;
+    if (apriori_constraints_ != nullptr) {
+      record.violates_constraints = !apriori_constraints_->measured_feasible(
+          record.measured_power_w, record.measured_memory_mb);
+    } else {
+      HardwareConstraints plain(budgets_, std::nullopt, std::nullopt);
+      record.violates_constraints = !plain.measured_feasible(
+          record.measured_power_w, record.measured_memory_mb);
+    }
+  }
+  record.index = trace.size();
+  record.timestamp_s = objective_.clock().now_s();
+  if (record.counts_for_best() &&
+      (!incumbent_ || record.test_error < incumbent_->test_error)) {
+    incumbent_ = record;
+  }
+  observe(record);
+  trace.add(std::move(record));
+}
+
 Optimizer::Result Optimizer::run() {
+  return options_.batch_size > 1 ? run_batched() : run_sequential();
+}
+
+Optimizer::Result Optimizer::run_sequential() {
   stats::Rng rng(options_.seed);
   Result result;
   Clock& clock = objective_.clock();
@@ -58,30 +108,102 @@ Optimizer::Result Optimizer::run() {
                                          : nullptr;
       record = objective_.evaluate(config, rule);
       record.config = std::move(config);
-      // Classify against the *measured* metrics (both modes measure after
-      // training; the default mode just could not avoid the cost).
-      if (record.status == EvaluationStatus::Completed ||
-          record.status == EvaluationStatus::EarlyTerminated) {
-        ++function_evaluations;
-        if (apriori_constraints_ != nullptr) {
-          record.violates_constraints = !apriori_constraints_->measured_feasible(
-              record.measured_power_w, record.measured_memory_mb);
-        } else {
-          HardwareConstraints plain(budgets_, std::nullopt, std::nullopt);
-          record.violates_constraints = !plain.measured_feasible(
-              record.measured_power_w, record.measured_memory_mb);
-        }
-      }
     }
 
-    record.index = result.trace.size();
-    record.timestamp_s = clock.now_s();
-    if (record.counts_for_best() &&
-        (!incumbent_ || record.test_error < incumbent_->test_error)) {
-      incumbent_ = record;
+    finalize_record(record, result.trace, function_evaluations);
+  }
+
+  result.best = incumbent_;
+  return result;
+}
+
+Optimizer::Result Optimizer::run_batched() {
+  Result result;
+  Clock& clock = objective_.clock();
+  std::size_t function_evaluations = 0;
+  std::size_t next_sample = 0;  // global sample counter = RNG stream index
+
+  // num_threads counts the threads doing work; the calling thread
+  // participates in every round, so K threads = K-1 pool workers.
+  parallel::ThreadPool pool(options_.num_threads - 1);
+  const bool concurrent_eval = objective_.supports_concurrent_evaluation();
+  const HardwareConstraints* filter =
+      options_.filter_before_training ? active_constraints() : nullptr;
+  const EarlyTerminationRule* rule =
+      options_.use_early_termination ? &options_.early_termination : nullptr;
+
+  bool stopped = false;
+  while (!stopped && next_sample < options_.max_samples) {
+    if (function_evaluations >= options_.max_function_evaluations) break;
+    if (clock.now_s() >= options_.max_runtime_s) break;
+    const std::size_t count =
+        std::min(options_.batch_size, options_.max_samples - next_sample);
+
+    // Phase 1 — proposals. Methods with sequential proposal state
+    // (constant-liar BO) produce the whole round up front on this thread;
+    // the others propose inside the worker tasks.
+    std::vector<Configuration> proposals;
+    if (!supports_parallel_proposals()) {
+      proposals = propose_batch(next_sample, count);
     }
-    observe(record);
-    result.trace.add(std::move(record));
+
+    // Phase 2 — generate + filter + evaluate the round concurrently. Each
+    // task depends only on (run seed, its global sample index) and
+    // snapshots of round-constant state, so scheduling order is
+    // irrelevant to the result.
+    struct Slot {
+      EvaluationRecord record;
+      bool deferred_evaluation = false;
+    };
+    std::vector<Slot> slots(count);
+    pool.parallel_for(count, [&](std::size_t j) {
+      stats::Rng rng = sample_rng(next_sample + j);
+      Configuration config =
+          proposals.empty() ? propose(rng) : std::move(proposals[j]);
+      Slot& slot = slots[j];
+      if (filter != nullptr &&
+          !filter->predicted_feasible(space_.structural_vector(config))) {
+        slot.record.config = std::move(config);
+        slot.record.status = EvaluationStatus::ModelFiltered;
+        slot.record.test_error = 1.0;
+        slot.record.violates_constraints = true;  // violating *by prediction*
+        slot.record.cost_s = options_.model_filter_overhead_s;
+        return;
+      }
+      if (concurrent_eval) {
+        slot.record = objective_.evaluate_detached(config, rule);
+        slot.record.config = std::move(config);
+      } else {
+        // Objective without a detached path (e.g. one driving real
+        // hardware): evaluate during the merge, in sample order — still
+        // deterministic at any thread count, just not overlapped.
+        slot.record.config = std::move(config);
+        slot.deferred_evaluation = true;
+      }
+    });
+    next_sample += count;
+
+    // Phase 3 — merge in canonical sample order, re-checking the stopping
+    // rules exactly where the sequential loop does (a round crossing a
+    // budget discards its tail, so the trace never depends on batch
+    // scheduling).
+    for (std::size_t j = 0; j < count; ++j) {
+      if (function_evaluations >= options_.max_function_evaluations ||
+          clock.now_s() >= options_.max_runtime_s) {
+        stopped = true;
+        break;
+      }
+      clock.advance(proposal_overhead_s());
+      EvaluationRecord record = std::move(slots[j].record);
+      if (slots[j].deferred_evaluation) {
+        Configuration config = std::move(record.config);
+        record = objective_.evaluate(config, rule);
+        record.config = std::move(config);
+      } else {
+        clock.advance(record.cost_s);
+      }
+      finalize_record(record, result.trace, function_evaluations);
+    }
   }
 
   result.best = incumbent_;

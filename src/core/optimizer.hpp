@@ -51,6 +51,18 @@ struct OptimizerOptions {
   double infeasible_arch_overhead_s = 5.0;
   /// Safety cap on total queried samples per run.
   std::size_t max_samples = 200000;
+
+  /// Batched evaluation: candidates generated + filtered + evaluated per
+  /// round. 1 selects the classic strictly sequential loop; K > 1 runs
+  /// rounds of K candidates whose records are merged into the trace in
+  /// sample order. Each sample draws from its own RNG stream seeded by
+  /// (seed, sample index), so a batched run is bit-identical at any
+  /// num_threads (but intentionally differs from the batch_size = 1 run,
+  /// which consumes a single sequential stream).
+  std::size_t batch_size = 1;
+  /// Worker threads evaluating a round (used only when batch_size > 1;
+  /// 1 = evaluate the round on the calling thread).
+  std::size_t num_threads = 1;
 };
 
 /// Abstract sequential optimizer.
@@ -86,6 +98,21 @@ class Optimizer {
   /// Proposes the next candidate configuration.
   [[nodiscard]] virtual Configuration propose(stats::Rng& rng) = 0;
 
+  /// True when propose() may run concurrently from worker threads (it only
+  /// reads shared state: the space and the incumbent snapshot). Methods
+  /// whose proposals mutate sequential state (constant-liar BO) return
+  /// false and produce whole rounds through propose_batch instead.
+  [[nodiscard]] virtual bool supports_parallel_proposals() const {
+    return true;
+  }
+
+  /// Proposes @p count candidates for samples [first_sample_index,
+  /// first_sample_index + count) on the calling thread. Only used when
+  /// supports_parallel_proposals() is false. The default loops propose()
+  /// with each sample's own RNG stream.
+  [[nodiscard]] virtual std::vector<Configuration> propose_batch(
+      std::size_t first_sample_index, std::size_t count);
+
   /// Called after every recorded sample (of any status). Model-based
   /// methods update their surrogates here.
   virtual void observe(const EvaluationRecord& record) { (void)record; }
@@ -112,7 +139,21 @@ class Optimizer {
     return incumbent_;
   }
 
+  /// The per-sample RNG stream of global sample @p sample_index (batched
+  /// mode; stateless split of the run seed).
+  [[nodiscard]] stats::Rng sample_rng(std::size_t sample_index) const {
+    return stats::Rng(stats::stream_seed(options_.seed, sample_index));
+  }
+
  private:
+  [[nodiscard]] Result run_sequential();
+  [[nodiscard]] Result run_batched();
+  /// Classifies a trained record against the measured budgets and updates
+  /// the evaluation counter/incumbent — the tail every sample goes through
+  /// in both loops.
+  void finalize_record(EvaluationRecord& record, RunTrace& trace,
+                       std::size_t& function_evaluations);
+
   const HyperParameterSpace& space_;
   Objective& objective_;
   ConstraintBudgets budgets_;

@@ -1,0 +1,128 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <limits>
+
+namespace hp::parallel {
+
+/// Shared state of one parallel_for call. Heap-allocated and shared with
+/// the helper jobs so a helper dequeued after the call returned (possible
+/// when the caller finished the whole batch itself) touches live memory.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;  ///< guarded by mutex
+  std::exception_ptr error;  ///< guarded by mutex; lowest failing index wins
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(job));
+  std::future<void> future = task->get_future();
+  if (workers_.empty()) {
+    (*task)();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
+  std::size_t done_here = 0;
+  for (;;) {
+    const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->n) break;
+    try {
+      (*batch->body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->mutex);
+      if (i < batch->error_index) {
+        batch->error = std::current_exception();
+        batch->error_index = i;
+      }
+    }
+    ++done_here;
+  }
+  if (done_here > 0) {
+    std::lock_guard<std::mutex> lock(batch->mutex);
+    batch->finished += done_here;
+    if (batch->finished == batch->n) batch->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->n = n;
+
+  if (workers_.empty() || n == 1) {
+    // Inline execution, same drain-and-rethrow semantics as the threaded
+    // path (every index runs; lowest failing index surfaces).
+    run_batch_share(batch);
+    if (batch->error) std::rethrow_exception(batch->error);
+    return;
+  }
+
+  // One helper job per worker (capped by n-1: the caller takes a share
+  // too). A helper that wakes up after the batch drained exits instantly.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([batch] { run_batch_share(batch); });
+    }
+  }
+  queue_cv_.notify_all();
+
+  // The caller participates — this is what makes nested parallel_for safe:
+  // even with every worker busy, the calling thread alone finishes the
+  // batch.
+  run_batch_share(batch);
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->finished == batch->n; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace hp::parallel

@@ -53,6 +53,11 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return idx;
 }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  return splitmix64(splitmix64(seed) ^
+                    splitmix64(stream + 0x9e3779b97f4a7c15ULL));
+}
+
 std::uint64_t splitmix64(std::uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;

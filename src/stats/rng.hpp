@@ -47,4 +47,13 @@ class Rng {
 /// ids into deterministic per-configuration noise streams.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
 
+/// Stateless seed split: derives the seed of stream @p stream of a run
+/// seeded with @p seed. Unlike Rng::child this consumes no parent state,
+/// so stream k is the same value no matter how many other streams were
+/// derived before it or on which thread — the property the parallel
+/// evaluation engine needs to stay order-independent (stream = the global
+/// sample index).
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept;
+
 }  // namespace hp::stats

@@ -136,4 +136,69 @@ core::EvaluationRecord TestbedObjective::evaluate(
   return record;
 }
 
+core::EvaluationRecord TestbedObjective::evaluate_detached(
+    const core::Configuration& config,
+    const core::EarlyTerminationRule* early_termination) {
+  core::EvaluationRecord record;
+  record.config = config;
+
+  const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+  if (!nn::is_feasible(spec)) {
+    record.status = core::EvaluationStatus::InfeasibleArchitecture;
+    record.test_error = 1.0;
+    record.cost_s = options_.infeasible_arch_time_s;
+    return record;
+  }
+
+  const double full_time = training_time_s(config);
+  const std::size_t total_epochs = landscape_.params().total_epochs;
+  const bool diverges = landscape_.diverges(config, options_.run_seed);
+
+  if (early_termination != nullptr) {
+    for (std::size_t epoch = 0; epoch < total_epochs; ++epoch) {
+      const double err =
+          landscape_.error_at_epoch(config, epoch, options_.run_seed);
+      if (early_termination->should_terminate(epoch + 1, err)) {
+        record.status = core::EvaluationStatus::EarlyTerminated;
+        record.test_error = err;
+        record.diverged = diverges;
+        record.cost_s = full_time * static_cast<double>(epoch + 1) /
+                        static_cast<double>(total_epochs);
+        return record;
+      }
+    }
+  }
+
+  record.status = core::EvaluationStatus::Completed;
+  record.diverged = diverges;
+  record.test_error = landscape_.final_error(config, options_.run_seed);
+  record.cost_s = full_time;
+
+  // Detached measurement: same device physics as measure(), but the sensor
+  // noise comes from a stream private to this network — a pure function of
+  // (sensor_seed, spec) — instead of the simulator's shared sequential
+  // stream, so the reading does not depend on which samples ran before.
+  const hw::InferenceCost cost = simulator_.cost_model().evaluate(spec);
+  if (cost.memory_mb > simulator_.device().dram_gb * 1024.0) {
+    throw std::runtime_error(
+        "GpuSimulator: model does not fit in device memory");
+  }
+  stats::Rng sensor(stats::stream_seed(options_.sensor_seed,
+                                       hw::CostModel::hash_spec(spec)));
+  double power_sum = 0.0;
+  for (std::size_t i = 0; i < options_.power_readings; ++i) {
+    const double noisy =
+        cost.average_power_w *
+        (1.0 + sensor.gaussian(0.0, hw::GpuSimulator::kPowerReadingNoiseSd));
+    power_sum += noisy > 0.0 ? noisy : 0.0;
+  }
+  record.measured_power_w =
+      power_sum / static_cast<double>(options_.power_readings);
+  if (simulator_.device().supports_memory_query) {
+    record.measured_memory_mb = cost.memory_mb;
+  }
+  record.cost_s += options_.measurement_time_s;
+  return record;
+}
+
 }  // namespace hp::testbed

@@ -62,6 +62,18 @@ class TestbedObjective final : public core::Objective {
       const core::Configuration& config,
       const core::EarlyTerminationRule* early_termination) override;
 
+  /// The landscape and cost model are pure functions of the configuration,
+  /// so a detached evaluation is too: sensor noise comes from a per-network
+  /// stream seeded by (sensor_seed, spec hash) instead of the simulator's
+  /// sequential sensor stream, making measured power independent of
+  /// evaluation order.
+  [[nodiscard]] bool supports_concurrent_evaluation() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] core::EvaluationRecord evaluate_detached(
+      const core::Configuration& config,
+      const core::EarlyTerminationRule* early_termination) override;
+
   [[nodiscard]] core::Clock& clock() override { return clock_; }
 
   /// Modelled full-training duration for @p config, seconds.

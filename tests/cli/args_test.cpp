@@ -88,6 +88,21 @@ TEST(Args, LastOccurrenceWins) {
   EXPECT_EQ(args.get("seed"), "2");
 }
 
+TEST(Args, GetUintParsesAndDefaults) {
+  const Args args = parse({"--batch", "4"});
+  EXPECT_EQ(*args.get_uint("batch"), 4u);
+  EXPECT_EQ(args.get_uint_or("batch", 1), 4u);
+  EXPECT_EQ(args.get_uint_or("threads", 8), 8u);
+  EXPECT_FALSE(args.get_uint("threads").has_value());
+}
+
+TEST(Args, GetUintRejectsNegativeAndMalformed) {
+  EXPECT_THROW((void)parse({"--batch", "-3"}).get_uint("batch"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"--batch", "2.5"}).get_uint("batch"),
+               std::invalid_argument);
+}
+
 TEST(Args, MixedPositionalAndOptions) {
   const Args args = parse({"optimize", "--seed", "4", "trailing"});
   ASSERT_EQ(args.positional().size(), 2u);

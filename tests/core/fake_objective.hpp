@@ -4,6 +4,7 @@
 //   measured power = 100 * x0_unit  (so a budget of 60 W means x0 <= 0.6)
 // Every evaluation costs a fixed amount of virtual time.
 
+#include <atomic>
 #include <cmath>
 
 #include "core/objective.hpp"
@@ -27,7 +28,20 @@ class FakeObjective final : public Objective {
   [[nodiscard]] EvaluationRecord evaluate(
       const Configuration& config,
       const EarlyTerminationRule* early_termination) override {
-    ++evaluations_;
+    EvaluationRecord r = evaluate_detached(config, early_termination);
+    clock_.advance(r.cost_s);
+    return r;
+  }
+
+  // The fake is a pure function of the configuration, so the detached path
+  // is the whole computation; evaluate() just adds the clock charge.
+  [[nodiscard]] bool supports_concurrent_evaluation() const noexcept override {
+    return concurrent_;
+  }
+  [[nodiscard]] EvaluationRecord evaluate_detached(
+      const Configuration& config,
+      const EarlyTerminationRule* early_termination) override {
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
     EvaluationRecord r;
     r.config = config;
     const std::vector<double> u = space_.encode(config);
@@ -47,23 +61,27 @@ class FakeObjective final : public Objective {
       r.measured_power_w = 100.0 * u[0];
       r.measured_memory_mb = 1000.0 * u[1];
     }
-    clock_.advance(r.cost_s);
     return r;
   }
 
   [[nodiscard]] Clock& clock() override { return clock_; }
 
-  [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] VirtualClock& virtual_clock() noexcept { return clock_; }
   void set_diverge_above(double threshold) { diverge_above_ = threshold; }
+  /// Tests covering the serial-objective fallback turn this off.
+  void set_supports_concurrent(bool on) { concurrent_ = on; }
 
  private:
   HyperParameterSpace space_;
   double cost_s_;
   double chance_;
   double diverge_above_ = 2.0;  // no divergence by default
+  bool concurrent_ = true;
   VirtualClock clock_;
-  std::size_t evaluations_ = 0;
+  std::atomic<std::size_t> evaluations_{0};
 };
 
 }  // namespace hp::core::testing

@@ -57,6 +57,38 @@ TEST(ModelIo, RoundTripsExtremePrecision) {
   EXPECT_EQ(loaded.intercept(), original.intercept());
 }
 
+TEST(ModelIo, RoundTripsZeroAndNegativeWeights) {
+  // Trained memory models routinely have zero weights (terms the dataset
+  // never excites) and negative ones; both must survive unchanged.
+  const HardwareModel original(ModelForm::Linear,
+                               linalg::Vector{0.0, -4.75, 0.0, -0.0625}, 0.0,
+                               0.0);
+  std::stringstream buffer;
+  save_hardware_model(original, buffer);
+  const HardwareModel loaded = load_hardware_model(buffer);
+  ASSERT_EQ(loaded.weights().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.weights()[i], original.weights()[i]);
+  }
+  EXPECT_EQ(loaded.residual_sd(), 0.0);
+  const std::vector<double> z{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(loaded.predict(z), original.predict(z));
+}
+
+TEST(ModelIo, SecondSaveOverwritesFile) {
+  const std::string path = ::testing::TempDir() + "/hp_model_io_overwrite.hpm";
+  save_hardware_model_file(sample_model(), path);
+  const HardwareModel replacement(ModelForm::Quadratic,
+                                  linalg::Vector{1.5, -2.5}, 7.0, 0.5);
+  save_hardware_model_file(replacement, path);
+  const HardwareModel loaded = load_hardware_model_file(path);
+  EXPECT_EQ(loaded.form(), ModelForm::Quadratic);
+  EXPECT_EQ(loaded.intercept(), 7.0);
+  ASSERT_EQ(loaded.weights().size(), 2u);
+  EXPECT_EQ(loaded.weights()[1], -2.5);
+  std::remove(path.c_str());
+}
+
 TEST(ModelIo, RejectsBadMagic) {
   std::stringstream buffer("not-a-model v1\n");
   EXPECT_THROW((void)load_hardware_model(buffer), std::runtime_error);

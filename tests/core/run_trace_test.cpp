@@ -116,6 +116,60 @@ TEST(RunTrace, CsvHasHeaderAndOneRowPerRecord) {
   EXPECT_NE(csv.find("early_terminated"), std::string::npos);
 }
 
+TEST(RunTrace, EmptyTraceDerivedSeries) {
+  const RunTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.function_evaluations(), 0u);
+  EXPECT_EQ(t.measured_violation_count(), 0u);
+  EXPECT_FALSE(t.best().has_value());
+  EXPECT_DOUBLE_EQ(t.best_error_up_to(0), 1.0);
+  EXPECT_TRUE(t.best_error_per_function_evaluation().empty());
+  EXPECT_TRUE(t.violations_per_function_evaluation().empty());
+  EXPECT_FALSE(t.time_to_sample_count(1).has_value());
+  EXPECT_FALSE(t.time_to_error(1.0).has_value());
+  std::ostringstream os;
+  t.write_csv(os);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u);  // header only
+}
+
+TEST(RunTrace, AllSamplesFilteredTrace) {
+  // A HyperPower run where the models reject everything: samples exist but
+  // no function evaluation ever happens, so the per-evaluation series stay
+  // empty while the per-sample queries still work.
+  RunTrace t;
+  for (int i = 0; i < 3; ++i) {
+    t.add(record(EvaluationStatus::ModelFiltered, 1.0, 10.0 * (i + 1), true));
+  }
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.function_evaluations(), 0u);
+  EXPECT_EQ(t.model_filtered_count(), 3u);
+  EXPECT_EQ(t.measured_violation_count(), 0u);  // violating by prediction only
+  EXPECT_FALSE(t.best().has_value());
+  EXPECT_TRUE(t.best_error_per_function_evaluation().empty());
+  EXPECT_TRUE(t.violations_per_function_evaluation().empty());
+  EXPECT_DOUBLE_EQ(*t.time_to_sample_count(3), 30.0);
+  EXPECT_FALSE(t.time_to_error(1.0).has_value());
+  EXPECT_DOUBLE_EQ(t.total_time_s(), 30.0);
+}
+
+TEST(RunTrace, SingleEarlyTerminatedRecord) {
+  RunTrace t;
+  t.add(record(EvaluationStatus::EarlyTerminated, 0.9, 42.0, false, true));
+  EXPECT_EQ(t.function_evaluations(), 1u);  // it did invoke the objective
+  EXPECT_EQ(t.completed_count(), 0u);
+  EXPECT_EQ(t.early_terminated_count(), 1u);
+  EXPECT_FALSE(t.best().has_value());  // but never counts for best
+  const auto series = t.best_error_per_function_evaluation();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);  // nothing feasible yet
+  EXPECT_DOUBLE_EQ(*t.time_to_sample_count(1), 42.0);
+  EXPECT_FALSE(t.time_to_error(0.9).has_value());
+}
+
 TEST(EvaluationStatus, ToStringCoversAll) {
   EXPECT_EQ(to_string(EvaluationStatus::Completed), "completed");
   EXPECT_EQ(to_string(EvaluationStatus::EarlyTerminated), "early_terminated");

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/random_search.hpp"
+#include "fake_objective.hpp"
+
 namespace hp::core {
 namespace {
 
@@ -81,6 +84,81 @@ TEST(TraceIo, LoadedTraceSupportsDerivedQueries) {
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(best->test_error, 0.25);
   EXPECT_DOUBLE_EQ(loaded.total_time_s(), 160.0);
+}
+
+TEST(TraceIo, RoundTripsMemoryAbsentRecords) {
+  // Tegra-class platforms report power but no memory counter (paper
+  // footnote 1): power present, memory absent must survive the round trip
+  // for every status that reaches measurement.
+  RunTrace trace;
+  EvaluationRecord a;
+  a.index = 0;
+  a.timestamp_s = 50.0;
+  a.status = EvaluationStatus::Completed;
+  a.test_error = 0.125;
+  a.measured_power_w = 10.5;  // memory stays nullopt
+  a.cost_s = 45.0;
+  trace.add(a);
+  EvaluationRecord b;
+  b.index = 1;
+  b.timestamp_s = 60.0;
+  b.status = EvaluationStatus::EarlyTerminated;
+  b.test_error = 0.9;
+  b.diverged = true;
+  b.cost_s = 4.5;
+  trace.add(b);
+
+  std::stringstream buffer;
+  trace.write_csv(buffer);
+  const RunTrace loaded = load_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.records()[0].measured_power_w.has_value());
+  EXPECT_EQ(*loaded.records()[0].measured_power_w, 10.5);
+  EXPECT_FALSE(loaded.records()[0].measured_memory_mb.has_value());
+  EXPECT_FALSE(loaded.records()[1].measured_power_w.has_value());
+  EXPECT_TRUE(loaded.records()[1].diverged);
+  EXPECT_EQ(loaded.records()[1].status, EvaluationStatus::EarlyTerminated);
+}
+
+TEST(TraceIo, BatchedRunTraceRoundTrips) {
+  // A trace produced by the real batched-parallel loop (mixed completed /
+  // early-terminated records) survives save + load: discrete fields
+  // exactly, doubles to the CSV's 6-significant-digit precision.
+  const HyperParameterSpace space = testing::fake_space();
+  testing::FakeObjective objective(space);
+  objective.set_diverge_above(0.8);  // some candidates early-terminate
+  ConstraintBudgets budgets;
+  budgets.power_w = 70.0;
+  OptimizerOptions opt;
+  opt.seed = 3;
+  opt.max_function_evaluations = 10;
+  opt.batch_size = 4;
+  opt.num_threads = 2;
+  opt.use_hardware_models = false;
+  RandomSearchOptimizer optimizer(space, objective, budgets, nullptr, opt);
+  const Optimizer::Result result = optimizer.run();
+  const RunTrace& original = result.trace;
+
+  std::stringstream buffer;
+  original.write_csv(buffer);
+  const RunTrace loaded = load_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const auto& a = original.records()[i];
+    const auto& b = loaded.records()[i];
+    EXPECT_EQ(b.index, a.index);
+    EXPECT_EQ(b.status, a.status);
+    EXPECT_EQ(b.diverged, a.diverged);
+    EXPECT_EQ(b.violates_constraints, a.violates_constraints);
+    EXPECT_EQ(b.measured_power_w.has_value(), a.measured_power_w.has_value());
+    EXPECT_NEAR(b.test_error, a.test_error, 1e-5 * (1.0 + a.test_error));
+    EXPECT_NEAR(b.timestamp_s, a.timestamp_s, 1e-5 * (1.0 + a.timestamp_s));
+    EXPECT_NEAR(b.cost_s, a.cost_s, 1e-5 * (1.0 + a.cost_s));
+  }
+  EXPECT_EQ(loaded.function_evaluations(), original.function_evaluations());
+  EXPECT_EQ(loaded.early_terminated_count(), original.early_terminated_count());
+  EXPECT_EQ(loaded.measured_violation_count(),
+            original.measured_violation_count());
 }
 
 TEST(TraceIo, EmptyTraceRoundTrips) {

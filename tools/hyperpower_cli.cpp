@@ -42,6 +42,7 @@ commands:
   optimize  --problem P --device NAME --method rand|rand-walk|hw-cwei|hw-ieci
             [--power-budget W] [--memory-budget MB] [--hours H | --evals N]
             [--default-mode] [--seed S] [--trace PATH]
+            [--batch K] [--threads T]   (batched parallel evaluation)
   pareto    --problem P --device NAME [--power-budget W] [--hours H] [--seed S]
   devices
 )");
@@ -191,7 +192,7 @@ int cmd_optimize(const cli::Args& args) {
   args.require_known({"problem", "device", "method", "power-budget",
                       "memory-budget", "hours", "evals", "default-mode",
                       "seed", "trace", "profile-samples", "power-model",
-                      "memory-model"});
+                      "memory-model", "batch", "threads"});
   SearchSetup s = search_setup(args);
   testbed::TestbedObjective objective(
       s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
@@ -213,6 +214,9 @@ int cmd_optimize(const cli::Args& args) {
   if (!args.has("hours") && !args.has("evals")) {
     options.optimizer.max_function_evaluations = 20;
   }
+  options.optimizer.batch_size = args.get_uint_or("batch", 1);
+  options.optimizer.num_threads =
+      args.get_uint_or("threads", options.optimizer.batch_size);
 
   if (options.hyperpower_mode && s.budgets.any()) {
     if (args.has("power-model") || args.has("memory-model")) {

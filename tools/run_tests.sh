@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 verification wrapper: configure + build + ctest on the default
+# build, then rebuild the concurrency suite under ThreadSanitizer and run
+# it (see tests/README.md). Run from anywhere; builds land in the repo
+# root as build/ and build-tsan/ (both gitignored).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier 1: default build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== tier 1: ThreadSanitizer pass (test_parallel) =="
+cmake -B build-tsan -S . -DHYPERPOWER_SANITIZE=thread \
+  -DHYPERPOWER_BUILD_BENCHES=OFF -DHYPERPOWER_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$jobs" --target test_parallel
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R 'ThreadPool|ParallelDeterminism|TestbedDeterminism'
+
+echo "== all tier-1 checks passed =="
