@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/random_walk.hpp"
 #include "stats/descriptive.hpp"
@@ -20,7 +21,8 @@ namespace {
 
 using namespace hp;
 
-void ablation_enhancements(const bench::PairSetup& pair,
+void ablation_enhancements(bench::BenchReport& report,
+                           const bench::PairSetup& pair,
                            const bench::TrainedModels& models) {
   std::printf("--- A. Enhancement ablation (%s, 2 h budget, Rand) ---\n",
               pair.label.c_str());
@@ -56,9 +58,11 @@ void ablation_enhancements(const bench::PairSetup& pair,
     }
   }
   std::printf("%s\n", t.render().c_str());
+  report.add_table("enhancements", t);
 }
 
-void ablation_model_form(const bench::PairSetup& pair) {
+void ablation_model_form(bench::BenchReport& report,
+                         const bench::PairSetup& pair) {
   std::printf("--- B. Hardware-model form ablation (%s, power model) ---\n",
               pair.label.c_str());
   bench::TextTable t({"form", "intercept", "nonnegative", "RMSPE", "R^2"});
@@ -77,12 +81,14 @@ void ablation_model_form(const bench::PairSetup& pair) {
     }
   }
   std::printf("%s", t.render().c_str());
+  report.add_table("model_form", t);
   std::printf("=> linear + intercept already meets the paper's <7%% RMSPE; "
               "quadratic adds little\n   (the paper's conclusion that the "
               "linear form suffices).\n\n");
 }
 
-void ablation_indicator_vs_probability(const bench::PairSetup& pair,
+void ablation_indicator_vs_probability(bench::BenchReport& report,
+                                       const bench::PairSetup& pair,
                                        const bench::TrainedModels& models) {
   std::printf("--- C. Indicator (IECI) vs probabilistic (CWEI) constraints "
               "as model quality degrades ---\n");
@@ -114,9 +120,11 @@ void ablation_indicator_vs_probability(const bench::PairSetup& pair,
     }
   }
   std::printf("%s\n", t.render().c_str());
+  report.add_table("indicator_vs_probability", t);
 }
 
-void ablation_randwalk_sigma(const bench::PairSetup& pair,
+void ablation_randwalk_sigma(bench::BenchReport& report,
+                             const bench::PairSetup& pair,
                              const bench::TrainedModels& models) {
   std::printf("--- D. Rand-Walk sigma_0 sensitivity (%s, default mode) ---\n",
               pair.label.c_str());
@@ -158,6 +166,7 @@ void ablation_randwalk_sigma(const bench::PairSetup& pair,
                               : bench::fmt_percent(stats::mean(errors))});
   }
   std::printf("%s", t.render().c_str());
+  report.add_table("randwalk_sigma", t);
   std::printf("=> exhaustive Rand-Walk is fragile in sigma_0, 'defeating the "
               "purpose of automated\n   hyper-parameter optimization' "
               "(Section 5).\n");
@@ -166,6 +175,7 @@ void ablation_randwalk_sigma(const bench::PairSetup& pair,
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablation");
   std::printf("=== Ablation studies ===\n\n");
   const bench::PairSetup mnist =
       bench::make_pair(bench::Dataset::Mnist, bench::Platform::Gtx1070);
@@ -174,9 +184,9 @@ int main() {
   const bench::TrainedModels mnist_models = bench::train_models(mnist, 100, 2018);
   const bench::TrainedModels cifar_models = bench::train_models(cifar, 100, 2018);
 
-  ablation_enhancements(mnist, mnist_models);
-  ablation_model_form(cifar);
-  ablation_indicator_vs_probability(cifar, cifar_models);
-  ablation_randwalk_sigma(cifar, cifar_models);
+  ablation_enhancements(report, mnist, mnist_models);
+  ablation_model_form(report, cifar);
+  ablation_indicator_vs_probability(report, cifar, cifar_models);
+  ablation_randwalk_sigma(report, cifar, cifar_models);
   return 0;
 }

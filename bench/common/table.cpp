@@ -18,6 +18,21 @@ void TextTable::add_row(std::vector<std::string> row) {
   rows_.push_back(std::move(row));
 }
 
+obs::JsonValue TextTable::to_json() const {
+  obs::JsonValue out = obs::JsonValue::object();
+  obs::JsonValue header = obs::JsonValue::array();
+  for (const auto& h : header_) header.push_back(obs::JsonValue(h));
+  out["header"] = std::move(header);
+  obs::JsonValue rows = obs::JsonValue::array();
+  for (const auto& row : rows_) {
+    obs::JsonValue cells = obs::JsonValue::array();
+    for (const auto& cell : row) cells.push_back(obs::JsonValue(cell));
+    rows.push_back(std::move(cells));
+  }
+  out["rows"] = std::move(rows);
+  return out;
+}
+
 std::string TextTable::render() const {
   std::vector<std::size_t> widths(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace hp::bench {
 
 /// Fixed-width text table with a header row.
@@ -16,6 +18,8 @@ class TextTable {
   void add_row(std::vector<std::string> row);
   /// Renders with column-wise alignment and a separator under the header.
   [[nodiscard]] std::string render() const;
+  /// {"header": [...], "rows": [[...], ...]} for the BENCH_*.json files.
+  [[nodiscard]] obs::JsonValue to_json() const;
 
  private:
   std::vector<std::string> header_;

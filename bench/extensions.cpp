@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/extra_acquisitions.hpp"
 #include "core/grid_search.hpp"
@@ -45,7 +46,7 @@ std::vector<hw::ProfileSample> profile_with_timings(
   return profiler.profile_all(specs);
 }
 
-void extension_layerwise() {
+void extension_layerwise(bench::BenchReport& report) {
   std::printf("--- E1. Layer-wise runtime + energy models (NeuralPower "
               "direction, ref [10]) ---\n");
   bench::TextTable t({"pair", "latency RMSPE (train)", "latency RMSPE (held-out)",
@@ -70,9 +71,10 @@ void extension_layerwise() {
                bench::fmt_fixed(stats::rmspe(en_a, en_p), 2) + "%"});
   }
   std::printf("%s\n", t.render().c_str());
+  report.add_table("layerwise_models", t);
 }
 
-void extension_acquisitions() {
+void extension_acquisitions(bench::BenchReport& report) {
   std::printf("--- E2. Acquisition comparison, CIFAR-10 on GTX 1070 @ 90 W "
               "(3 runs, 2 h virtual) ---\n");
   const bench::PairSetup pair =
@@ -123,9 +125,10 @@ void extension_acquisitions() {
                bench::fmt_fixed(stats::mean(samples), 1)});
   }
   std::printf("%s\n", t.render().c_str());
+  report.add_table("acquisitions", t);
 }
 
-void extension_grid() {
+void extension_grid(bench::BenchReport& report) {
   std::printf("--- E3. Grid-search baseline, MNIST on GTX 1070 @ 85 W "
               "(2 h virtual, HyperPower filtering for all) ---\n");
   const bench::PairSetup pair =
@@ -180,12 +183,13 @@ void extension_grid() {
                                  std::make_unique<core::HwIeciAcquisition>());
     run_and_row(ieci);
   }
+  report.add_table("grid_baseline", t);
   std::printf("%s=> grid levels quantize away the continuous training "
               "parameters, as the paper's\n   introduction argues.\n\n",
               t.render().c_str());
 }
 
-void extension_pareto() {
+void extension_pareto(bench::BenchReport& report) {
   std::printf("--- E4. Error/power Pareto fronts, CIFAR-10 on GTX 1070 "
               "(HyperPower runs @ 90 W, 5 h virtual) ---\n");
   const bench::PairSetup pair =
@@ -213,6 +217,7 @@ void extension_pareto() {
     t.add_row({core::to_string(method), std::to_string(front.size()),
                bench::fmt_fixed(hv, 2), low_power, low_error});
   }
+  report.add_table("pareto_fronts", t);
   std::printf("%s=> the trade-off curve Figure 1 motivates, extracted from "
               "real run traces.\n",
               t.render().c_str());
@@ -221,10 +226,11 @@ void extension_pareto() {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("extensions");
   std::printf("=== Extension experiments (beyond the paper) ===\n\n");
-  extension_layerwise();
-  extension_acquisitions();
-  extension_grid();
-  extension_pareto();
+  extension_layerwise(report);
+  extension_acquisitions(report);
+  extension_grid(report);
+  extension_pareto(report);
   return 0;
 }

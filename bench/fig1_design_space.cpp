@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -24,6 +25,7 @@ struct Point {
 
 int main() {
   using namespace hp;
+  bench::BenchReport report("fig1_design_space");
   std::printf("=== Figure 1: test error vs power, CIFAR-10 variants on GTX 1070 ===\n\n");
 
   const bench::PairSetup pair =
@@ -95,6 +97,9 @@ int main() {
   std::printf("Max iso-error power spread: %.1f W (%.0f%% of TDP %.0f W)\n\n",
               max_spread, 100.0 * max_spread / pair.device.tdp_w,
               pair.device.tdp_w);
+  report.add_table("iso_error_bands", bands);
+  report.root()["max_iso_error_power_spread_w"] = max_spread;
+  report.root()["sampled_configs"] = points.size();
 
   // Motivating example (Section 1): pick an AlexNet-like reference config
   // and report the iso-error power saving and iso-power error reduction a
@@ -121,5 +126,8 @@ int main() {
               ref_power - iso_error_power);
   std::printf("  iso-power error reduction: %.2f%% -> %.2f%%\n",
               ref_error * 100.0, iso_power_error * 100.0);
+  report.root()["iso_error_power_saving_w"] = ref_power - iso_error_power;
+  report.root()["iso_power_error_reduction"] =
+      ref_error - iso_power_error;
   return 0;
 }

@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/early_termination.hpp"
 #include "stats/descriptive.hpp"
 
 int main() {
   using namespace hp;
+  bench::BenchReport report("fig3_insights");
   std::printf("=== Figure 3: the two HyperPower insights ===\n\n");
 
   const bench::PairSetup pair =
@@ -41,6 +43,7 @@ int main() {
                   bench::fmt_fixed(m.power_w, 3) + " W"});
   }
   std::printf("%s", left.render().c_str());
+  report.add_table("power_vs_epochs", left);
   std::printf("power span across checkpoints: %.3f W (%.2f%% of mean) -- "
               "accuracy span: %.1f%%\n",
               power_stats.max() - power_stats.min(),
@@ -69,6 +72,7 @@ int main() {
                           "test error per epoch (dark = high error)", labels,
                           series)
                           .c_str());
+  report.add_series("learning_curves", labels, series);
 
   // Early-termination rule applied to the same curves.
   const core::EarlyTerminationRule rule;
@@ -93,6 +97,7 @@ int main() {
                                     0)});
   }
   std::printf("%s", right.render().c_str());
+  report.add_table("early_termination", right);
   std::printf("=> diverging candidates cost ~%d%% of a full training under "
               "the early-termination rule.\n",
               static_cast<int>(100.0 * rule.check_after_epochs() /

@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "stats/descriptive.hpp"
 
 int main() {
   using namespace hp;
+  bench::BenchReport report("fig4_fixed_evals");
   std::printf("=== Figure 4: fixed 50 function evaluations, CIFAR-10 on "
               "GTX 1070 @ 90 W (5 runs) ===\n\n");
 
@@ -82,6 +84,7 @@ int main() {
                             "evaluations (1..50)",
                             labels, curves)
                             .c_str());
+    report.add_series("best_error_vs_evals", labels, curves);
     bench::TextTable t({"method", "best @5", "best @10", "best @25",
                         "best @50"});
     for (const auto& s : all) {
@@ -91,6 +94,7 @@ int main() {
                  bench::fmt_percent(s.best_error[49])});
     }
     std::printf("%s\n", t.render().c_str());
+    report.add_table("best_error", t);
   }
 
   // (center) cumulative violations.
@@ -107,6 +111,7 @@ int main() {
     std::printf("(center) cumulative constraint-violating samples "
                 "(paper: HW-IECI stays at zero)\n%s\n",
                 t.render().c_str());
+    report.add_table("violations", t);
   }
 
   // (right) query quality: fraction of evaluations in the
@@ -130,6 +135,7 @@ int main() {
                 "queries cluster in\nhigh-performance regions, random "
                 "methods do not)\n%s",
                 t.render().c_str());
+    report.add_table("query_quality", t);
   }
   return 0;
 }

@@ -9,10 +9,12 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 
 int main() {
   using namespace hp;
+  bench::BenchReport report("fig6_time_to_accuracy");
   std::printf("=== Figure 6: best error vs optimization runtime, CIFAR-10 on "
               "GTX 1070 (5 h) ===\n\n");
 
@@ -88,6 +90,8 @@ int main() {
                   labels, curves)
                   .c_str());
   std::printf("%s\n", table.render().c_str());
+  report.add_series("best_error_vs_time", labels, curves);
+  report.add_table("time_to_accuracy", table);
   std::printf("=> every [HyperPower] run reaches the high-performance region "
               "earlier than its\n   [default] counterpart, and queries "
               "far more samples in the same budget.\n");

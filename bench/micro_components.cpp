@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/experiment.hpp"
+#include "common/micro_report.hpp"
 #include "core/candidate_pool.hpp"
 #include "gp/kernel_fit.hpp"
 #include "linalg/cholesky.hpp"
@@ -188,4 +189,6 @@ BENCHMARK(BM_RealCnnTrainingEpoch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hp::bench::run_micro_bench("micro_components", argc, argv);
+}

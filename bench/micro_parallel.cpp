@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/micro_report.hpp"
 #include "core/random_search.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
@@ -88,4 +89,6 @@ BENCHMARK(BM_BatchedOptimizerRun)->Arg(1)->Arg(2)->Arg(4)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hp::bench::run_micro_bench("micro_parallel", argc, argv);
+}

@@ -8,12 +8,14 @@
 #include <cstdio>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/metrics.hpp"
 
 int main() {
   using namespace hp;
+  bench::BenchReport report("table1_models");
   std::printf("=== Table 1: RMSPE of the proposed power and memory models ===\n");
   std::printf("(paper: power 5.70/5.98/6.62/4.17%%, memory 4.43/4.67/-/-)\n\n");
 
@@ -34,6 +36,7 @@ int main() {
   table.add_row(power_row);
   table.add_row(memory_row);
   std::printf("%s\n", table.render().c_str());
+  report.add_table("table1_rmspe", table);
 
   // Figure 5: predicted vs actual power alignment per pair.
   std::printf("=== Figure 5: actual vs predicted power (alignment summary) ===\n\n");
@@ -67,6 +70,7 @@ int main() {
                   bench::fmt_percent(max_rel, 1)});
   }
   std::printf("%s", fig5.render().c_str());
+  report.add_table("fig5_alignment", fig5);
   std::printf("\n=> held-out predictions align with measurements across both "
               "the high-performance\n   (GTX 1070) and low-power (Tegra TX1) "
               "regimes, as in the paper's Figure 5.\n");

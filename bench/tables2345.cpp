@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "stats/descriptive.hpp"
 
@@ -69,6 +70,7 @@ std::string error_cell(const ModeStats& m) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("tables2345");
   std::printf("=== Tables 2-5: wall-clock-budget comparison, 4 methods x "
               "{Default, HyperPower},\n    4 device-dataset pairs, %d runs "
               "each (2 h MNIST / 5 h CIFAR-10 budgets) ===\n\n",
@@ -106,6 +108,7 @@ int main() {
     }
     std::printf("\nTable 2 - mean best test error (std):\n%s",
                 t2.render().c_str());
+    report.root()[pair.label]["table2_best_error"] = t2.to_json();
 
     // Table 3: time for HyperPower to reach the default's sample count.
     bench::TextTable t3({"Solver", "Default [h]", "HyperPower [h]",
@@ -134,6 +137,7 @@ int main() {
     std::printf("\nTable 3 - runtime to reach the exhaustive run's sample "
                 "count:\n%s",
                 t3.render().c_str());
+    report.root()[pair.label]["table3_time_to_samples"] = t3.to_json();
 
     // Table 4: samples queried within the budget.
     bench::TextTable t4({"Solver", "Default", "HyperPower", "Increase"});
@@ -154,6 +158,7 @@ int main() {
     }
     std::printf("\nTable 4 - samples queried within the budget:\n%s",
                 t4.render().c_str());
+    report.root()[pair.label]["table4_samples"] = t4.to_json();
 
     // Table 5: time to reach the exhaustive runs' best accuracy. The
     // target is the mean best error across the *successful* exhaustive
@@ -197,6 +202,7 @@ int main() {
     std::printf("\nTable 5 - runtime to achieve the exhaustive run's best "
                 "accuracy:\n%s\n",
                 t5.render().c_str());
+    report.root()[pair.label]["table5_time_to_accuracy"] = t5.to_json();
   }
 
   std::printf("Expected shape vs the paper: HyperPower >= Default everywhere; "

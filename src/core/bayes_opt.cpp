@@ -4,11 +4,29 @@
 #include <stdexcept>
 
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 
 namespace hp::core {
 
 namespace {
+
+/// BO-phase instruments (GP fit / acquisition argmax wall time, constant
+/// liars); process-global, fetched once.
+struct BoMetrics {
+  obs::Histogram& gp_fit_s;
+  obs::Histogram& acq_argmax_s;
+  obs::Counter& constant_liar_fills;
+
+  static BoMetrics& get() {
+    static BoMetrics m{
+        obs::metrics().histogram("bo.gp_fit_s"),
+        obs::metrics().histogram("bo.acq_argmax_s"),
+        obs::metrics().counter("bo.constant_liar_fills"),
+    };
+    return m;
+  }
+};
 
 linalg::Matrix rows_to_matrix(const std::vector<std::vector<double>>& rows) {
   linalg::Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
@@ -76,6 +94,7 @@ Configuration BayesOptOptimizer::propose(stats::Rng& rng) {
   ctx.constraints = active_constraints();
   ctx.measured_power_gp = power_gp_ ? power_gp_.get() : nullptr;
   ctx.measured_memory_gp = memory_gp_ ? memory_gp_.get() : nullptr;
+  obs::ScopedTimer timer("bo.acq_argmax", &BoMetrics::get().acq_argmax_s);
   return pool_.maximize(*acquisition_, ctx, rng).config;
 }
 
@@ -91,6 +110,9 @@ std::vector<Configuration> BayesOptOptimizer::propose_batch(
       // Lie that the pending candidate came back at the incumbent error;
       // posterior-only refit (no kernel ML) keeps this cheap and exactly
       // reversible.
+      if (obs::metrics().enabled()) {
+        BoMetrics::get().constant_liar_fills.add(1);
+      }
       obs_x_.push_back(space().encode(config));
       obs_y_.push_back(best_feasible_y_);
       objective_gp_->fit(rows_to_matrix(obs_x_),
@@ -143,8 +165,16 @@ void BayesOptOptimizer::refit_objective_gp() {
   }
   const linalg::Matrix x = rows_to_matrix(obs_x_);
   const linalg::Vector y{std::vector<double>(obs_y_)};
-  if (observations_since_kernel_fit_ >= bo_options_.kernel_refit_interval ||
-      !objective_gp_->fitted()) {
+  const bool kernel_ml =
+      observations_since_kernel_fit_ >= bo_options_.kernel_refit_interval ||
+      !objective_gp_->fitted();
+  if (obs::logger().enabled(obs::LogLevel::kDebug)) {
+    obs::logger().debug("bo.refit",
+                        {{"observations", obs::JsonValue(obs_y_.size())},
+                         {"kernel_ml", obs::JsonValue(kernel_ml)}});
+  }
+  obs::ScopedTimer timer("bo.gp_fit", &BoMetrics::get().gp_fit_s);
+  if (kernel_ml) {
     gp::KernelFitOptions fit = bo_options_.kernel_fit;
     fit.min_noise_variance = bo_options_.observation_noise;
     (void)gp::fit_kernel_by_ml(*objective_gp_, x, y, fit);

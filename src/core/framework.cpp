@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/random_search.hpp"
+#include "obs/obs.hpp"
 
 namespace hp::core {
 
@@ -57,6 +58,12 @@ std::size_t HyperPowerFramework::train_hardware_models(
   power_model_ = train_power_model(samples, options);
   memory_model_ = train_memory_model(samples, options);
   rebuild_constraints();
+  if (obs::logger().enabled(obs::LogLevel::kInfo)) {
+    obs::logger().info("framework.hw_models",
+                       {{"requested", obs::JsonValue(num_samples)},
+                        {"profiled", obs::JsonValue(samples.size())},
+                        {"attempts", obs::JsonValue(attempts)}});
+  }
   return samples.size();
 }
 

@@ -1,11 +1,56 @@
 #include "core/optimizer.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace hp::core {
+
+namespace {
+
+/// Optimizer-loop instruments; process-global, fetched once. Wall-time
+/// histograms measure real phase durations — the virtual clock is charged
+/// separately from modelled costs and is never read here except as an
+/// event field.
+struct OptMetrics {
+  obs::Counter& samples;
+  obs::Counter& function_evaluations;
+  obs::Counter& completed;
+  obs::Counter& model_filtered;
+  obs::Counter& early_terminated;
+  obs::Counter& infeasible;
+  obs::Counter& measured_violations;
+  obs::Counter& rounds;
+  obs::Histogram& propose_s;
+  obs::Histogram& round_evaluate_s;
+  obs::Histogram& merge_s;
+  obs::Histogram& sample_cost_vs;  ///< virtual seconds per sample
+
+  static OptMetrics& get() {
+    obs::MetricsRegistry& m = obs::metrics();
+    static OptMetrics instance{
+        m.counter("optimizer.samples"),
+        m.counter("optimizer.function_evaluations"),
+        m.counter("optimizer.completed"),
+        m.counter("optimizer.model_filtered"),
+        m.counter("optimizer.early_terminated"),
+        m.counter("optimizer.infeasible_architectures"),
+        m.counter("optimizer.measured_violations"),
+        m.counter("optimizer.rounds"),
+        m.histogram("optimizer.propose_s"),
+        m.histogram("optimizer.round_evaluate_s"),
+        m.histogram("optimizer.merge_s"),
+        m.histogram("optimizer.sample_cost_vs",
+                    obs::exponential_buckets(1.0, 2.0, 14)),
+    };
+    return instance;
+  }
+};
+
+}  // namespace
 
 Optimizer::Optimizer(const HyperParameterSpace& space, Objective& objective,
                      ConstraintBudgets budgets,
@@ -64,12 +109,123 @@ void Optimizer::finalize_record(EvaluationRecord& record, RunTrace& trace,
       (!incumbent_ || record.test_error < incumbent_->test_error)) {
     incumbent_ = record;
   }
+  observe_record(record, trace, function_evaluations);
   observe(record);
   trace.add(std::move(record));
 }
 
+void Optimizer::observe_record(const EvaluationRecord& record,
+                               const RunTrace& trace,
+                               std::size_t function_evaluations) {
+  switch (record.status) {
+    case EvaluationStatus::Completed:
+      ++tally_.completed;
+      break;
+    case EvaluationStatus::ModelFiltered:
+      ++tally_.model_filtered;
+      break;
+    case EvaluationStatus::EarlyTerminated:
+      ++tally_.early_terminated;
+      break;
+    case EvaluationStatus::InfeasibleArchitecture:
+      ++tally_.infeasible;
+      break;
+  }
+  const bool measured_violation =
+      record.status == EvaluationStatus::Completed &&
+      record.violates_constraints;
+  if (measured_violation) ++tally_.measured_violations;
+
+  if (obs::metrics().enabled()) {
+    OptMetrics& m = OptMetrics::get();
+    m.samples.add(1);
+    m.sample_cost_vs.observe(record.cost_s);
+    switch (record.status) {
+      case EvaluationStatus::Completed:
+        m.function_evaluations.add(1);
+        m.completed.add(1);
+        break;
+      case EvaluationStatus::EarlyTerminated:
+        m.function_evaluations.add(1);
+        m.early_terminated.add(1);
+        break;
+      case EvaluationStatus::ModelFiltered:
+        m.model_filtered.add(1);
+        break;
+      case EvaluationStatus::InfeasibleArchitecture:
+        m.infeasible.add(1);
+        break;
+    }
+    if (measured_violation) m.measured_violations.add(1);
+  }
+
+  obs::Logger& log = obs::logger();
+  if (log.enabled(obs::LogLevel::kDebug)) {
+    log.debug("optimizer.sample",
+              {{"index", obs::JsonValue(record.index)},
+               {"status", obs::JsonValue(to_string(record.status))},
+               {"error", obs::JsonValue(record.test_error)},
+               {"cost_s", obs::JsonValue(record.cost_s)},
+               {"clock_s", obs::JsonValue(record.timestamp_s)},
+               {"violates", obs::JsonValue(record.violates_constraints)}});
+  }
+  if (log.enabled(obs::LogLevel::kInfo)) {
+    std::vector<obs::LogField> fields{
+        {"samples", obs::JsonValue(trace.size() + 1)},
+        {"evals", obs::JsonValue(function_evaluations)},
+        {"filtered", obs::JsonValue(tally_.model_filtered)},
+        {"early_terminated", obs::JsonValue(tally_.early_terminated)},
+        {"violations", obs::JsonValue(tally_.measured_violations)},
+        {"clock_s", obs::JsonValue(record.timestamp_s)},
+    };
+    if (incumbent_) {
+      fields.push_back({"best_error", obs::JsonValue(incumbent_->test_error)});
+    }
+    if (options_.max_function_evaluations !=
+        std::numeric_limits<std::size_t>::max()) {
+      fields.push_back(
+          {"max_evals", obs::JsonValue(options_.max_function_evaluations)});
+    }
+    if (std::isfinite(options_.max_runtime_s)) {
+      fields.push_back(
+          {"max_runtime_s", obs::JsonValue(options_.max_runtime_s)});
+    }
+    log.info("optimizer.progress", std::move(fields));
+  }
+}
+
 Optimizer::Result Optimizer::run() {
-  return options_.batch_size > 1 ? run_batched() : run_sequential();
+  tally_ = RunTally{};
+  obs::Logger& log = obs::logger();
+  if (log.enabled(obs::LogLevel::kInfo)) {
+    log.info("optimizer.run",
+             {{"method", obs::JsonValue(name())},
+              {"mode", obs::JsonValue(options_.batch_size > 1
+                                          ? std::string("batched")
+                                          : std::string("sequential"))},
+              {"seed", obs::JsonValue(options_.seed)},
+              {"batch_size", obs::JsonValue(options_.batch_size)},
+              {"num_threads", obs::JsonValue(options_.num_threads)}});
+  }
+  Result result =
+      options_.batch_size > 1 ? run_batched() : run_sequential();
+  if (log.enabled(obs::LogLevel::kInfo)) {
+    std::vector<obs::LogField> fields{
+        {"method", obs::JsonValue(name())},
+        {"samples", obs::JsonValue(result.trace.size())},
+        {"completed", obs::JsonValue(tally_.completed)},
+        {"model_filtered", obs::JsonValue(tally_.model_filtered)},
+        {"early_terminated", obs::JsonValue(tally_.early_terminated)},
+        {"infeasible", obs::JsonValue(tally_.infeasible)},
+        {"measured_violations", obs::JsonValue(tally_.measured_violations)},
+        {"clock_s", obs::JsonValue(objective_.clock().now_s())},
+    };
+    if (result.best) {
+      fields.push_back({"best_error", obs::JsonValue(result.best->test_error)});
+    }
+    log.info("optimizer.done", std::move(fields));
+  }
+  return result;
 }
 
 Optimizer::Result Optimizer::run_sequential() {
@@ -83,7 +239,11 @@ Optimizer::Result Optimizer::run_sequential() {
     if (clock.now_s() >= options_.max_runtime_s) break;
 
     clock.advance(proposal_overhead_s());
-    Configuration config = propose(rng);
+    Configuration config;
+    {
+      obs::ScopedTimer timer("optimize.propose", &OptMetrics::get().propose_s);
+      config = propose(rng);
+    }
 
     EvaluationRecord record;
     const HardwareConstraints* constraints =
@@ -139,11 +299,14 @@ Optimizer::Result Optimizer::run_batched() {
     const std::size_t count =
         std::min(options_.batch_size, options_.max_samples - next_sample);
 
+    if (obs::metrics().enabled()) OptMetrics::get().rounds.add(1);
+
     // Phase 1 — proposals. Methods with sequential proposal state
     // (constant-liar BO) produce the whole round up front on this thread;
     // the others propose inside the worker tasks.
     std::vector<Configuration> proposals;
     if (!supports_parallel_proposals()) {
+      obs::ScopedTimer timer("optimize.propose", &OptMetrics::get().propose_s);
       proposals = propose_batch(next_sample, count);
     }
 
@@ -156,6 +319,8 @@ Optimizer::Result Optimizer::run_batched() {
       bool deferred_evaluation = false;
     };
     std::vector<Slot> slots(count);
+    obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
+                                    &OptMetrics::get().round_evaluate_s);
     pool.parallel_for(count, [&](std::size_t j) {
       stats::Rng rng = sample_rng(next_sample + j);
       Configuration config =
@@ -181,8 +346,10 @@ Optimizer::Result Optimizer::run_batched() {
         slot.deferred_evaluation = true;
       }
     });
+    evaluate_timer.stop();
     next_sample += count;
 
+    obs::ScopedTimer merge_timer("optimize.merge", &OptMetrics::get().merge_s);
     // Phase 3 — merge in canonical sample order, re-checking the stopping
     // rules exactly where the sequential loop does (a round crossing a
     // budget discards its tail, so the trace never depends on batch
@@ -204,6 +371,7 @@ Optimizer::Result Optimizer::run_batched() {
       }
       finalize_record(record, result.trace, function_evaluations);
     }
+    merge_timer.stop();
   }
 
   result.best = incumbent_;

@@ -154,12 +154,28 @@ class Optimizer {
   void finalize_record(EvaluationRecord& record, RunTrace& trace,
                        std::size_t& function_evaluations);
 
+  /// Running per-status totals of the current run, kept so the per-sample
+  /// observability events are O(1) (RunTrace recomputes its counters by
+  /// scanning). Read-side only: never consulted by the optimization logic.
+  struct RunTally {
+    std::size_t completed = 0;
+    std::size_t model_filtered = 0;
+    std::size_t early_terminated = 0;
+    std::size_t infeasible = 0;
+    std::size_t measured_violations = 0;
+  };
+  /// Observability tail of finalize_record: counters + "optimizer.sample"
+  /// / "optimizer.progress" events.
+  void observe_record(const EvaluationRecord& record, const RunTrace& trace,
+                      std::size_t function_evaluations);
+
   const HyperParameterSpace& space_;
   Objective& objective_;
   ConstraintBudgets budgets_;
   const HardwareConstraints* apriori_constraints_;
   OptimizerOptions options_;
   std::optional<EvaluationRecord> incumbent_;
+  RunTally tally_;
 };
 
 }  // namespace hp::core

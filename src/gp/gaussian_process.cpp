@@ -4,7 +4,30 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace hp::gp {
+
+namespace {
+
+/// Refit instruments, fetched once per process (registry-stable refs).
+struct GpMetrics {
+  obs::Counter& refits;
+  obs::Histogram& refit_n;
+  obs::Histogram& cholesky_s;
+
+  static GpMetrics& get() {
+    static GpMetrics m{
+        obs::metrics().counter("gp.refits"),
+        obs::metrics().histogram("gp.refit_observations",
+                                 obs::exponential_buckets(1.0, 2.0, 12)),
+        obs::metrics().histogram("gp.cholesky_s"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 double Prediction::stddev() const noexcept {
   return variance > 0.0 ? std::sqrt(variance) : 0.0;
@@ -34,10 +57,21 @@ void GaussianProcess::fit(linalg::Matrix x, linalg::Vector y) {
 }
 
 void GaussianProcess::refit() {
+  if (obs::metrics().enabled()) {
+    GpMetrics::get().refits.add(1);
+    GpMetrics::get().refit_n.observe(static_cast<double>(x_.rows()));
+  }
+  if (obs::logger().enabled(obs::LogLevel::kTrace)) {
+    obs::logger().trace("gp.refit",
+                        {{"n", obs::JsonValue(x_.rows())},
+                         {"noise", obs::JsonValue(noise_variance_)}});
+  }
   y_mean_ = y_.mean();
   linalg::Matrix k = kernel_matrix(*kernel_, x_);
   k.add_to_diagonal(noise_variance_);
+  obs::ScopedTimer chol_timer("gp.cholesky", &GpMetrics::get().cholesky_s);
   auto chol = linalg::Cholesky::with_jitter(std::move(k));
+  chol_timer.stop();
   if (!chol) {
     throw std::runtime_error(
         "GaussianProcess: kernel matrix not positive definite even with "

@@ -2,7 +2,26 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace hp::hw {
+
+namespace {
+
+struct HwMetrics {
+  obs::Counter& profiled_specs;
+  obs::Counter& profile_failures;
+
+  static HwMetrics& get() {
+    static HwMetrics m{
+        obs::metrics().counter("hw.profiled_specs"),
+        obs::metrics().counter("hw.profile_failures"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 InferenceProfiler::InferenceProfiler(GpuSimulator& simulator,
                                      ProfilerOptions options)
@@ -59,6 +78,17 @@ ProfileSample InferenceProfiler::profile(const nn::CnnSpec& spec) {
 
   simulator_.set_inference_active(false);
   simulator_.unload_model();
+  if (obs::metrics().enabled()) HwMetrics::get().profiled_specs.add(1);
+  if (obs::logger().enabled(obs::LogLevel::kDebug)) {
+    std::vector<obs::LogField> fields{
+        {"power_w", obs::JsonValue(sample.power_w)},
+        {"latency_ms", obs::JsonValue(sample.latency_ms)},
+    };
+    if (sample.memory_mb) {
+      fields.push_back({"memory_mb", obs::JsonValue(*sample.memory_mb)});
+    }
+    obs::logger().debug("hw.profile", std::move(fields));
+  }
   return sample;
 }
 
@@ -72,8 +102,10 @@ std::vector<ProfileSample> InferenceProfiler::profile_all(
     } catch (const std::invalid_argument&) {
       // Infeasible architecture (spatial collapse): skip, as the paper's
       // generation scripts skip Caffe definition failures.
+      if (obs::metrics().enabled()) HwMetrics::get().profile_failures.add(1);
     } catch (const std::runtime_error&) {
       // Model too large for the device: skip.
+      if (obs::metrics().enabled()) HwMetrics::get().profile_failures.add(1);
     }
   }
   return samples;

@@ -1,0 +1,185 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace hp::obs {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> log_level_from_string(const std::string& name) {
+  for (LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (name == to_string(level)) return level;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// StderrSink
+
+StderrSink::StderrSink(std::ostream* os, bool show_progress_events)
+    : os_(os), show_progress_events_(show_progress_events) {}
+
+void StderrSink::write(const LogEvent& event) {
+  if (!show_progress_events_ && event.name == "optimizer.progress") return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = os_ != nullptr ? *os_ : std::cerr;
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%9.3fs %-5s] ", event.wall_s,
+                to_string(event.level));
+  os << head << event.name;
+  for (const LogField& f : event.fields) {
+    os << ' ' << f.key << '=';
+    if (f.value.kind() == JsonValue::Kind::String) {
+      // Bare strings read better than quoted JSON in the pretty format,
+      // unless they contain spaces.
+      const std::string quoted = f.value.dump();
+      const std::string bare = quoted.substr(1, quoted.size() - 2);
+      os << (bare.find(' ') == std::string::npos ? bare : quoted);
+    } else {
+      f.value.dump(os);
+    }
+  }
+  os << '\n';
+}
+
+void StderrSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (os_ != nullptr ? *os_ : std::cerr).flush();
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+
+struct JsonlSink::Impl {
+  std::mutex mutex;
+  std::ofstream os;
+};
+
+JsonlSink::JsonlSink(const std::string& path) : impl_(new Impl) {
+  impl_->os.open(path, std::ios::out | std::ios::trunc);
+  if (!impl_->os) {
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+  }
+}
+
+JsonlSink::~JsonlSink() = default;
+
+void JsonlSink::write(const LogEvent& event) {
+  JsonValue line = JsonValue::object();
+  line["t"] = JsonValue(event.wall_s);
+  line["level"] = JsonValue(to_string(event.level));
+  line["event"] = JsonValue(event.name);
+  for (const LogField& f : event.fields) line[f.key] = f.value;
+  const std::string text = line.dump();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->os << text << '\n';
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->os.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+Logger::Logger()
+    : threshold_(static_cast<int>(LogLevel::kOff)),
+      level_floor_(static_cast<int>(LogLevel::kTrace)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_floor_.store(static_cast<int>(level), std::memory_order_relaxed);
+  recompute_threshold_locked();
+}
+
+LogLevel Logger::level() const noexcept {
+  return static_cast<LogLevel>(level_floor_.load(std::memory_order_relaxed));
+}
+
+void Logger::add_sink(std::shared_ptr<LogSink> sink, LogLevel min_level) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.emplace_back(std::move(sink), min_level);
+  recompute_threshold_locked();
+}
+
+void Logger::remove_sink(const std::shared_ptr<LogSink>& sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.erase(std::remove_if(sinks_.begin(), sinks_.end(),
+                              [&](const auto& s) { return s.first == sink; }),
+               sinks_.end());
+  recompute_threshold_locked();
+}
+
+void Logger::clear_sinks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.clear();
+  recompute_threshold_locked();
+}
+
+void Logger::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [sink, min_level] : sinks_) sink->flush();
+}
+
+void Logger::recompute_threshold_locked() {
+  int threshold = static_cast<int>(LogLevel::kOff);
+  for (const auto& [sink, min_level] : sinks_) {
+    threshold = std::min(threshold, static_cast<int>(min_level));
+  }
+  threshold =
+      std::max(threshold, level_floor_.load(std::memory_order_relaxed));
+  threshold_.store(threshold, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string name,
+                 std::vector<LogField> fields) {
+  if (!enabled(level)) return;
+  LogEvent event;
+  event.level = level;
+  event.name = std::move(name);
+  event.fields = std::move(fields);
+  event.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // Dispatch under the mutex: sinks also serialize internally, but holding
+  // the registration lock keeps add/remove_sink safe against concurrent
+  // logging from pool workers.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [sink, min_level] : sinks_) {
+    if (static_cast<int>(event.level) >= static_cast<int>(min_level)) {
+      sink->write(event);
+    }
+  }
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+}  // namespace hp::obs

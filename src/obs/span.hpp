@@ -1,0 +1,66 @@
+#pragma once
+// RAII span timing keyed by run phase. A ScopedTimer samples the steady
+// clock only when either backend wants the result (metrics enabled with a
+// target histogram, or the logger enabled at the span level), so an idle
+// observability layer costs two relaxed atomic loads per span.
+
+#include <chrono>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace hp::obs {
+
+/// Times a scope; on destruction records the elapsed wall time into an
+/// optional histogram and/or emits a "span" log event with the phase name.
+/// Wall time is observability output only — it never feeds back into the
+/// run (the virtual clock is charged from modelled costs, not from spans).
+class ScopedTimer {
+ public:
+  /// @param phase stable phase name, e.g. "optimize.merge"; not copied.
+  /// @param hist target histogram (may be nullptr for log-only spans).
+  /// @param span_level level of the emitted span event.
+  explicit ScopedTimer(const char* phase, Histogram* hist = nullptr,
+                       LogLevel span_level = LogLevel::kTrace) noexcept
+      : phase_(phase),
+        hist_(metrics().enabled() ? hist : nullptr),
+        span_level_(span_level),
+        log_on_(logger().enabled(span_level)) {
+    if (armed()) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records and disarms early (idempotent).
+  void stop() {
+    if (!armed()) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (hist_ != nullptr) hist_->observe(elapsed);
+    if (log_on_) {
+      logger().log(span_level_, "span",
+                   {{"phase", JsonValue(phase_)},
+                    {"elapsed_s", JsonValue(elapsed)}});
+    }
+    hist_ = nullptr;
+    log_on_ = false;
+  }
+
+ private:
+  [[nodiscard]] bool armed() const noexcept {
+    return hist_ != nullptr || log_on_;
+  }
+
+  const char* phase_;
+  Histogram* hist_;
+  LogLevel span_level_;
+  bool log_on_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hp::obs

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 
 namespace hp::parallel {
@@ -20,7 +21,13 @@ struct ThreadPool::Batch {
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
 };
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : obs_queue_depth_(&obs::metrics().gauge("pool.queue_depth")),
+      obs_task_wait_s_(&obs::metrics().histogram("pool.task_wait_s")),
+      obs_jobs_(&obs::metrics().counter("pool.jobs")),
+      obs_parallel_for_calls_(
+          &obs::metrics().counter("pool.parallel_for_calls")),
+      obs_indices_(&obs::metrics().counter("pool.indices")) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -50,6 +57,20 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::instrument_job(std::function<void()>& job) {
+  if (!obs::metrics().enabled()) return;
+  obs_queue_depth_->add(1.0);
+  const auto enqueued = std::chrono::steady_clock::now();
+  job = [this, enqueued, inner = std::move(job)] {
+    obs_queue_depth_->add(-1.0);
+    obs_task_wait_s_->observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - enqueued)
+                                  .count());
+    obs_jobs_->add(1);
+    inner();
+  };
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> job) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(job));
   std::future<void> future = task->get_future();
@@ -57,9 +78,11 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
     (*task)();
     return future;
   }
+  std::function<void()> wrapped = [task] { (*task)(); };
+  instrument_job(wrapped);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.emplace_back([task] { (*task)(); });
+    queue_.emplace_back(std::move(wrapped));
   }
   queue_cv_.notify_one();
   return future;
@@ -91,6 +114,10 @@ void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  if (obs::metrics().enabled()) {
+    obs_parallel_for_calls_->add(1);
+    obs_indices_->add(n);
+  }
 
   auto batch = std::make_shared<Batch>();
   batch->body = &body;
@@ -110,7 +137,9 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      queue_.emplace_back([batch] { run_batch_share(batch); });
+      std::function<void()> helper = [batch] { run_batch_share(batch); };
+      instrument_job(helper);
+      queue_.emplace_back(std::move(helper));
     }
   }
   queue_cv_.notify_all();

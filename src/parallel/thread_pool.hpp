@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace hp::parallel {
 
 /// Fixed set of worker threads executing submitted jobs. A pool of size 0
@@ -69,12 +71,23 @@ class ThreadPool {
 
   void worker_loop();
   static void run_batch_share(const std::shared_ptr<Batch>& batch);
+  /// When metrics are enabled, wraps @p job to track queue depth and the
+  /// enqueue-to-start wait time; otherwise leaves it untouched. Pure
+  /// read-side instrumentation — never alters what runs or in what order.
+  void instrument_job(std::function<void()>& job);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   bool stopping_ = false;
+
+  // Observability instruments (process-global registry; fetched once).
+  obs::Gauge* obs_queue_depth_;
+  obs::Histogram* obs_task_wait_s_;
+  obs::Counter* obs_jobs_;
+  obs::Counter* obs_parallel_for_calls_;
+  obs::Counter* obs_indices_;
 };
 
 }  // namespace hp::parallel

@@ -5,7 +5,59 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace hp::testbed {
+
+namespace {
+
+/// Objective-side instruments. Counters are atomic, so bumping them from
+/// evaluate_detached() on pool workers is safe and leaves results untouched.
+struct TestbedMetrics {
+  obs::Counter& evaluations;
+  obs::Counter& simulated_epochs;
+  obs::Counter& divergence_detections;
+  obs::Counter& infeasible_architectures;
+
+  static TestbedMetrics& get() {
+    obs::MetricsRegistry& m = obs::metrics();
+    static TestbedMetrics instance{
+        m.counter("testbed.evaluations"),
+        m.counter("testbed.simulated_epochs"),
+        m.counter("testbed.divergence_detections"),
+        m.counter("testbed.infeasible_architectures"),
+    };
+    return instance;
+  }
+};
+
+/// Read-side tally of one finished evaluation (both evaluation paths).
+void observe_evaluation(const core::EvaluationRecord& record,
+                        std::size_t epochs_walked) {
+  if (obs::metrics().enabled()) {
+    TestbedMetrics& m = TestbedMetrics::get();
+    m.evaluations.add(1);
+    m.simulated_epochs.add(epochs_walked);
+    if (record.status == core::EvaluationStatus::InfeasibleArchitecture) {
+      m.infeasible_architectures.add(1);
+    }
+    if (record.diverged &&
+        record.status == core::EvaluationStatus::EarlyTerminated) {
+      m.divergence_detections.add(1);
+    }
+  }
+  if (obs::logger().enabled(obs::LogLevel::kTrace)) {
+    obs::logger().trace(
+        "testbed.evaluate",
+        {{"status", obs::JsonValue(core::to_string(record.status))},
+         {"error", obs::JsonValue(record.test_error)},
+         {"epochs", obs::JsonValue(epochs_walked)},
+         {"diverged", obs::JsonValue(record.diverged)},
+         {"cost_s", obs::JsonValue(record.cost_s)}});
+  }
+}
+
+}  // namespace
 
 TestbedOptions calibrated_options(const std::string& problem_name,
                                   const hw::DeviceSpec& device) {
@@ -94,6 +146,7 @@ core::EvaluationRecord TestbedObjective::evaluate(
     record.test_error = 1.0;
     record.cost_s = options_.infeasible_arch_time_s;
     clock_.advance(record.cost_s);
+    observe_evaluation(record, 0);
     return record;
   }
 
@@ -114,6 +167,7 @@ core::EvaluationRecord TestbedObjective::evaluate(
         record.cost_s = full_time * static_cast<double>(epoch + 1) /
                         static_cast<double>(total_epochs);
         clock_.advance(record.cost_s);
+        observe_evaluation(record, epoch + 1);
         return record;
       }
     }
@@ -133,6 +187,7 @@ core::EvaluationRecord TestbedObjective::evaluate(
   record.cost_s += options_.measurement_time_s;
 
   clock_.advance(record.cost_s);
+  observe_evaluation(record, total_epochs);
   return record;
 }
 
@@ -147,6 +202,7 @@ core::EvaluationRecord TestbedObjective::evaluate_detached(
     record.status = core::EvaluationStatus::InfeasibleArchitecture;
     record.test_error = 1.0;
     record.cost_s = options_.infeasible_arch_time_s;
+    observe_evaluation(record, 0);
     return record;
   }
 
@@ -164,6 +220,7 @@ core::EvaluationRecord TestbedObjective::evaluate_detached(
         record.diverged = diverges;
         record.cost_s = full_time * static_cast<double>(epoch + 1) /
                         static_cast<double>(total_epochs);
+        observe_evaluation(record, epoch + 1);
         return record;
       }
     }
@@ -198,6 +255,7 @@ core::EvaluationRecord TestbedObjective::evaluate_detached(
     record.measured_memory_mb = cost.memory_mb;
   }
   record.cost_s += options_.measurement_time_s;
+  observe_evaluation(record, total_epochs);
   return record;
 }
 

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/framework.hpp"
 #include "core/random_search.hpp"
+#include "obs/obs.hpp"
 #include "testbed/testbed_objective.hpp"
 #include "../core/fake_objective.hpp"
 
@@ -139,6 +142,47 @@ TEST_F(TestbedDeterminismTest, AllFourMethodsAreThreadCountInvariant) {
     const auto eight = run(method, 8);
     expect_same_result(one, eight, to_string(method));
     EXPECT_GT(one.trace.size(), 0u) << to_string(method);
+  }
+}
+
+namespace {
+
+/// Discards everything; its presence alone arms every logger().enabled()
+/// branch in the instrumented layers.
+class NullSink final : public obs::LogSink {
+ public:
+  void write(const obs::LogEvent&) override {}
+};
+
+/// Scope guard: observability wide open on entry, silent defaults on exit.
+class GlobalObsOn {
+ public:
+  GlobalObsOn() : sink_(std::make_shared<NullSink>()) {
+    obs::logger().set_level(obs::LogLevel::kTrace);
+    obs::logger().add_sink(sink_, obs::LogLevel::kTrace);
+    obs::metrics().set_enabled(true);
+  }
+  ~GlobalObsOn() {
+    obs::logger().clear_sinks();
+    obs::metrics().set_enabled(false);
+  }
+
+ private:
+  std::shared_ptr<obs::LogSink> sink_;
+};
+
+}  // namespace
+
+TEST_F(TestbedDeterminismTest, ObservabilityIsPureReadSideForAllMethods) {
+  // DESIGN.md §9: enabling trace-level logging plus metrics on an 8-thread
+  // run must not change a bit versus the silent single-threaded run.
+  for (Method method : {Method::Rand, Method::RandWalk, Method::HwCwei,
+                        Method::HwIeci}) {
+    const auto silent_one = run(method, 1);
+    GlobalObsOn obs_on;
+    const auto loud_eight = run(method, 8);
+    expect_same_result(silent_one, loud_eight,
+                       std::string("obs ") + to_string(method));
   }
 }
 

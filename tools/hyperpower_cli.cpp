@@ -16,15 +16,22 @@
 //       --hours 5 --seed 1 --trace /tmp/trace.csv
 //   hyperpower pareto --problem cifar10 --device "GTX 1070" --hours 2
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
+
+#include <unistd.h>
 
 #include "cli/args.hpp"
 #include "core/framework.hpp"
 #include "core/model_io.hpp"
 #include "core/pareto.hpp"
 #include "hw/profiler.hpp"
+#include "obs/obs.hpp"
 #include "testbed/testbed_objective.hpp"
 
 namespace {
@@ -45,9 +52,160 @@ commands:
             [--batch K] [--threads T]   (batched parallel evaluation)
   pareto    --problem P --device NAME [--power-budget W] [--hours H] [--seed S]
   devices
+
+observability (any command):
+  --log-level L   stderr log verbosity: trace|debug|info|warn|error|off
+                  (default warn)
+  --log-file P    write every event >= the log level as JSON lines to P
+  --metrics P     collect counters/histograms, write them as JSON to P
+  --progress      force the live progress line (optimize; default on a tty)
+  --quiet         suppress the live progress line
 )");
   return 2;
 }
+
+/// Flags shared by every subcommand.
+const std::vector<std::string> kObsFlags = {"log-level", "log-file", "metrics",
+                                            "progress", "quiet"};
+
+std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
+  known.insert(known.end(), kObsFlags.begin(), kObsFlags.end());
+  return known;
+}
+
+/// Configures the process-wide logger/metrics from --log-level, --log-file
+/// and --metrics, and tears them down (flush, metrics dump) on scope exit —
+/// including when the command throws.
+class ObsScope {
+ public:
+  explicit ObsScope(const cli::Args& args) {
+    const std::string level_name = args.get_or("log-level", "warn");
+    const auto level = obs::log_level_from_string(level_name);
+    if (!level) {
+      throw std::invalid_argument("bad --log-level '" + level_name +
+                                  "' (trace|debug|info|warn|error|off)");
+    }
+    if (*level != obs::LogLevel::kOff) {
+      obs::logger().add_sink(std::make_shared<obs::StderrSink>(), *level);
+      if (const auto path = args.get("log-file")) {
+        obs::logger().add_sink(std::make_shared<obs::JsonlSink>(*path),
+                               *level);
+      }
+    }
+    if (const auto path = args.get("metrics")) {
+      metrics_path_ = *path;
+      obs::metrics().set_enabled(true);
+    }
+  }
+
+  ~ObsScope() {
+    obs::logger().flush();
+    obs::logger().clear_sinks();
+    if (!metrics_path_.empty()) {
+      try {
+        obs::metrics().write_json_file(metrics_path_);
+        std::fprintf(stderr, "wrote metrics to %s\n", metrics_path_.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error writing %s: %s\n", metrics_path_.c_str(),
+                     e.what());
+      }
+      obs::metrics().set_enabled(false);
+    }
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  std::string metrics_path_;
+};
+
+/// Live one-line progress renderer for `optimize`: consumes the
+/// "optimizer.progress" events the optimizer emits per sample and redraws
+/// a single \r-terminated stderr line (evals, filtered count, best error,
+/// ETA from the fraction of the evaluation/time budget consumed).
+class ProgressSink final : public obs::LogSink {
+ public:
+  void write(const obs::LogEvent& event) override {
+    if (event.name != "optimizer.progress") return;
+    double evals = 0.0, filtered = 0.0, best = -1.0, clock_s = 0.0;
+    double max_evals = 0.0, max_runtime_s = 0.0;
+    for (const auto& f : event.fields) {
+      if (f.key == "evals") evals = f.value.number_or(0.0);
+      else if (f.key == "filtered") filtered = f.value.number_or(0.0);
+      else if (f.key == "best_error") best = f.value.number_or(-1.0);
+      else if (f.key == "clock_s") clock_s = f.value.number_or(0.0);
+      else if (f.key == "max_evals") max_evals = f.value.number_or(0.0);
+      else if (f.key == "max_runtime_s")
+        max_runtime_s = f.value.number_or(0.0);
+    }
+    double fraction = 0.0;
+    if (max_evals > 0.0) fraction = std::max(fraction, evals / max_evals);
+    if (max_runtime_s > 0.0) {
+      fraction = std::max(fraction, clock_s / max_runtime_s);
+    }
+    fraction = std::min(fraction, 1.0);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+      started_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+    char line[160];
+    int n;
+    if (max_evals > 0.0) {
+      n = std::snprintf(line, sizeof line, "  %.0f/%.0f evals", evals,
+                        max_evals);
+    } else {
+      n = std::snprintf(line, sizeof line, "  %.0f evals", evals);
+    }
+    std::size_t pos = n > 0 ? static_cast<std::size_t>(n) : 0;
+    const auto append = [&](const char* fmt, auto... v) {
+      if (pos >= sizeof line) return;
+      const int m = std::snprintf(line + pos, sizeof line - pos, fmt, v...);
+      if (m > 0) pos += static_cast<std::size_t>(m);
+    };
+    append(" | %.0f filtered", filtered);
+    if (best >= 0.0) append(" | best %.2f%%", best * 100.0);
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count();
+    if (fraction > 0.0 && fraction < 1.0 && wall_s > 0.5) {
+      const double eta_s = wall_s * (1.0 - fraction) / fraction;
+      if (eta_s >= 60.0) {
+        append(" | ETA %.0fm%02.0fs", std::floor(eta_s / 60.0),
+               std::fmod(eta_s, 60.0));
+      } else {
+        append(" | ETA %.0fs", eta_s);
+      }
+    }
+    // Pad over the previous (possibly longer) line before the carriage
+    // return so stale characters never linger.
+    std::string out(line, std::min(pos, sizeof line - 1));
+    if (out.size() < last_len_) out.append(last_len_ - out.size(), ' ');
+    last_len_ = std::min(pos, sizeof line - 1);
+    std::fprintf(stderr, "\r%s", out.c_str());
+    std::fflush(stderr);
+    drawn_ = true;
+  }
+
+  /// Ends the progress line (call before printing the summary).
+  void finish() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drawn_) {
+      std::fputc('\n', stderr);
+      std::fflush(stderr);
+      drawn_ = false;
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  bool started_ = false;
+  bool drawn_ = false;
+  std::size_t last_len_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
 
 core::BenchmarkProblem problem_by_name(const std::string& name) {
   if (name == "mnist") return core::mnist_problem();
@@ -112,7 +270,9 @@ int cmd_devices() {
 }
 
 int cmd_profile(const cli::Args& args) {
-  args.require_known({"problem", "device", "samples", "seed", "csv"});
+  args.require_known(
+      with_obs_flags({"problem", "device", "samples", "seed", "csv"}));
+  ObsScope obs_scope(args);
   const auto problem = problem_by_name(args.get_or("problem", "mnist"));
   const auto device = device_by_name(args.get_or("device", "GTX 1070"));
   const auto samples = run_profiling(
@@ -146,8 +306,9 @@ int cmd_profile(const cli::Args& args) {
 }
 
 int cmd_train(const cli::Args& args) {
-  args.require_known(
-      {"problem", "device", "samples", "seed", "power-model", "memory-model"});
+  args.require_known(with_obs_flags(
+      {"problem", "device", "samples", "seed", "power-model", "memory-model"}));
+  ObsScope obs_scope(args);
   const auto problem = problem_by_name(args.get_or("problem", "mnist"));
   const auto device = device_by_name(args.get_or("device", "GTX 1070"));
   const auto samples = run_profiling(
@@ -189,10 +350,11 @@ SearchSetup search_setup(const cli::Args& args) {
 }
 
 int cmd_optimize(const cli::Args& args) {
-  args.require_known({"problem", "device", "method", "power-budget",
-                      "memory-budget", "hours", "evals", "default-mode",
-                      "seed", "trace", "profile-samples", "power-model",
-                      "memory-model", "batch", "threads"});
+  args.require_known(with_obs_flags(
+      {"problem", "device", "method", "power-budget", "memory-budget", "hours",
+       "evals", "default-mode", "seed", "trace", "profile-samples",
+       "power-model", "memory-model", "batch", "threads"}));
+  ObsScope obs_scope(args);
   SearchSetup s = search_setup(args);
   testbed::TestbedObjective objective(
       s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
@@ -244,23 +406,53 @@ int cmd_optimize(const cli::Args& args) {
     }
   }
 
+  // Live progress line: on by default when stderr is a terminal, forced by
+  // --progress, suppressed by --quiet. Rendered from the optimizer's
+  // "optimizer.progress" events (the stderr pretty-printer skips those).
+  const bool tty = isatty(fileno(stderr)) != 0;
+  std::shared_ptr<ProgressSink> progress;
+  if (!args.has("quiet") && (args.has("progress") || tty)) {
+    progress = std::make_shared<ProgressSink>();
+    obs::logger().add_sink(progress, obs::LogLevel::kInfo);
+  }
+
   const auto result = framework.optimize(options);
+  if (progress) {
+    progress->finish();
+    obs::logger().remove_sink(progress);
+  }
+
   const auto& trace = result.run.trace;
-  std::printf("%s [%s]: %zu samples, %zu trained, %zu filtered, "
-              "%zu early-terminated, %zu measured violations\n",
-              result.method_name.c_str(),
-              result.hyperpower_mode ? "HyperPower" : "default", trace.size(),
-              trace.completed_count(), trace.model_filtered_count(),
-              trace.early_terminated_count(),
+  const std::size_t infeasible =
+      trace.size() - trace.completed_count() - trace.model_filtered_count() -
+      trace.early_terminated_count();
+  std::printf("\n%s [%s] run summary\n", result.method_name.c_str(),
+              result.hyperpower_mode ? "HyperPower" : "default");
+  std::printf("  %-24s %zu\n", "samples queried", trace.size());
+  std::printf("  %-24s %zu\n", "function evaluations",
+              trace.function_evaluations());
+  std::printf("  %-24s %zu\n", "trained to completion",
+              trace.completed_count());
+  std::printf("  %-24s %zu\n", "model-filtered", trace.model_filtered_count());
+  std::printf("  %-24s %zu\n", "early-terminated",
+              trace.early_terminated_count());
+  std::printf("  %-24s %zu\n", "infeasible architectures", infeasible);
+  std::printf("  %-24s %zu\n", "measured violations",
               trace.measured_violation_count());
+  std::printf("  %-24s %.2f h\n", "simulated runtime",
+              trace.total_time_s() / 3600.0);
   if (result.run.best) {
     const auto& best = *result.run.best;
-    std::printf("best: %.2f%% error", best.test_error * 100.0);
-    if (best.measured_power_w) std::printf(" @ %.1f W", *best.measured_power_w);
-    if (best.measured_memory_mb) {
-      std::printf(" / %.0f MB", *best.measured_memory_mb);
+    std::printf("  %-24s %.2f%%\n", "best feasible error",
+                best.test_error * 100.0);
+    if (best.measured_power_w) {
+      std::printf("  %-24s %.1f W\n", "best power", *best.measured_power_w);
     }
-    std::printf("\narchitecture: %s\n",
+    if (best.measured_memory_mb) {
+      std::printf("  %-24s %.0f MB\n", "best memory",
+                  *best.measured_memory_mb);
+    }
+    std::printf("architecture: %s\n",
                 s.problem.to_cnn_spec(best.config).to_string().c_str());
   } else {
     std::printf("no feasible configuration found\n");
@@ -275,8 +467,9 @@ int cmd_optimize(const cli::Args& args) {
 }
 
 int cmd_pareto(const cli::Args& args) {
-  args.require_known(
-      {"problem", "device", "power-budget", "memory-budget", "hours", "seed"});
+  args.require_known(with_obs_flags(
+      {"problem", "device", "power-budget", "memory-budget", "hours", "seed"}));
+  ObsScope obs_scope(args);
   SearchSetup s = search_setup(args);
   testbed::TestbedObjective objective(
       s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
