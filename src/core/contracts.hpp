@@ -1,0 +1,206 @@
+#pragma once
+// Runtime contract layer for the numerically delicate machinery of the
+// stack: least-squares hardware models, GP Cholesky factorizations, and
+// constraint-indicator acquisitions can all be corrupted by a silent NaN,
+// an out-of-bounds index, or a non-PSD covariance *without crashing*.
+// Contracts turn those states into a diagnosable ContractViolation at the
+// point of corruption instead of garbage output three layers later.
+//
+// Macro family (see DESIGN.md §10 for the full semantics table):
+//   HP_ASSERT(cond [, detail])       internal invariant ("this cannot happen")
+//   HP_REQUIRE(cond [, detail])      caller-facing precondition
+//   HP_BOUNDS(index, size)           index-in-range check for hot accessors
+//   HP_CHECK_FINITE(value, what)     scalar NaN/Inf guard
+//   HP_CHECK_ALL_FINITE(range, what) element-wise NaN/Inf guard
+//   HP_ENFORCE(cond, detail)         like HP_REQUIRE but never compiled out
+//
+// Compilation model: all macros except HP_ENFORCE expand to `(void)0` —
+// the condition is *not evaluated* — when HP_CONTRACTS is 0. The build
+// defines HP_CONTRACTS via the HYPERPOWER_CONTRACTS CMake option
+// (AUTO = on in every build type except Release). Violations throw
+// ContractViolation, which records kind, expression, file and line.
+//
+// This header is include-only and dependency-free on purpose: it sits in
+// src/core for discoverability but is included from lower layers (linalg,
+// parallel) without creating a link-time dependency.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#ifndef HP_CONTRACTS
+#ifdef NDEBUG
+#define HP_CONTRACTS 0
+#else
+#define HP_CONTRACTS 1
+#endif
+#endif
+
+namespace hp::core {
+
+/// Thrown when a contract macro detects a violated invariant. Derives from
+/// std::logic_error: a contract violation is a programming/data error, not
+/// an environmental condition, and must never be silently swallowed.
+class ContractViolation : public std::logic_error {
+ public:
+  enum class Kind {
+    kAssert,   ///< HP_ASSERT: internal invariant
+    kRequire,  ///< HP_REQUIRE / HP_ENFORCE: precondition
+    kBounds,   ///< HP_BOUNDS: index out of range
+    kFinite,   ///< HP_CHECK_FINITE / HP_CHECK_ALL_FINITE: NaN or Inf
+  };
+
+  ContractViolation(Kind kind, const char* expression, const char* file,
+                    int line, const std::string& detail)
+      : std::logic_error(format(kind, expression, file, line, detail)),
+        kind_(kind),
+        expression_(expression),
+        file_(file),
+        line_(line) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// The stringified condition (or value expression) that failed.
+  [[nodiscard]] const char* expression() const noexcept { return expression_; }
+  [[nodiscard]] const char* file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+  [[nodiscard]] static const char* kind_name(Kind kind) noexcept {
+    switch (kind) {
+      case Kind::kAssert:
+        return "HP_ASSERT";
+      case Kind::kRequire:
+        return "HP_REQUIRE";
+      case Kind::kBounds:
+        return "HP_BOUNDS";
+      case Kind::kFinite:
+        return "HP_CHECK_FINITE";
+    }
+    return "contract";
+  }
+
+ private:
+  static std::string format(Kind kind, const char* expression,
+                            const char* file, int line,
+                            const std::string& detail) {
+    std::string out(kind_name(kind));
+    out += " violation at ";
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    out += ": ";
+    out += expression;
+    if (!detail.empty()) {
+      out += " — ";
+      out += detail;
+    }
+    return out;
+  }
+
+  Kind kind_;
+  const char* expression_;
+  const char* file_;
+  int line_;
+};
+
+namespace contracts_detail {
+
+[[noreturn]] inline void fail(ContractViolation::Kind kind,
+                              const char* expression, const char* file,
+                              int line, const std::string& detail = {}) {
+  throw ContractViolation(kind, expression, file, line, detail);
+}
+
+[[noreturn]] inline void fail_bounds(std::size_t index, std::size_t size,
+                                     const char* expression, const char* file,
+                                     int line) {
+  fail(ContractViolation::Kind::kBounds, expression, file, line,
+       "index " + std::to_string(index) + " not in [0, " +
+           std::to_string(size) + ")");
+}
+
+[[noreturn]] inline void fail_finite(double value, const char* what,
+                                     const char* expression, const char* file,
+                                     int line) {
+  fail(ContractViolation::Kind::kFinite, expression, file, line,
+       std::string(what) + " is " +
+           (std::isnan(value) ? "NaN" : "non-finite"));
+}
+
+/// True when every element of [first, last) is finite. Works on any
+/// forward range of values convertible to double.
+template <typename Range>
+[[nodiscard]] inline bool all_finite(const Range& range) noexcept {
+  for (const auto& v : range) {
+    if (!std::isfinite(static_cast<double>(v))) return false;
+  }
+  return true;
+}
+
+}  // namespace contracts_detail
+}  // namespace hp::core
+
+// HP_ENFORCE is the only always-on member of the family: for invariants
+// whose violation would otherwise dereference invalid state (e.g. a GP
+// whose covariance failed to factorize), Release builds must still throw.
+#define HP_ENFORCE(cond, detail)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::hp::core::contracts_detail::fail(                              \
+          ::hp::core::ContractViolation::Kind::kRequire, #cond,        \
+          __FILE__, __LINE__, ::std::string(detail));                  \
+    }                                                                  \
+  } while (false)
+
+#if HP_CONTRACTS
+
+#define HP_CONTRACT_CHECK_(kind, cond, ...)                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::hp::core::contracts_detail::fail(                              \
+          ::hp::core::ContractViolation::Kind::kind, #cond, __FILE__,  \
+          __LINE__, ::std::string(__VA_ARGS__));                       \
+    }                                                                  \
+  } while (false)
+
+#define HP_ASSERT(...) HP_CONTRACT_CHECK_(kAssert, __VA_ARGS__)
+#define HP_REQUIRE(...) HP_CONTRACT_CHECK_(kRequire, __VA_ARGS__)
+
+#define HP_BOUNDS(index, size)                                            \
+  do {                                                                    \
+    const ::std::size_t hp_contract_index_ = (index);                     \
+    const ::std::size_t hp_contract_size_ = (size);                       \
+    if (hp_contract_index_ >= hp_contract_size_) {                        \
+      ::hp::core::contracts_detail::fail_bounds(                          \
+          hp_contract_index_, hp_contract_size_, #index " < " #size,      \
+          __FILE__, __LINE__);                                            \
+    }                                                                     \
+  } while (false)
+
+#define HP_CHECK_FINITE(value, what)                                      \
+  do {                                                                    \
+    const double hp_contract_value_ = static_cast<double>(value);         \
+    if (!::std::isfinite(hp_contract_value_)) {                           \
+      ::hp::core::contracts_detail::fail_finite(                          \
+          hp_contract_value_, what, #value, __FILE__, __LINE__);          \
+    }                                                                     \
+  } while (false)
+
+#define HP_CHECK_ALL_FINITE(range, what)                                  \
+  do {                                                                    \
+    if (!::hp::core::contracts_detail::all_finite(range)) {               \
+      ::hp::core::contracts_detail::fail(                                 \
+          ::hp::core::ContractViolation::Kind::kFinite, #range, __FILE__, \
+          __LINE__, ::std::string(what) + " contains a non-finite value"); \
+    }                                                                     \
+  } while (false)
+
+#else  // !HP_CONTRACTS — checks compile out; conditions are not evaluated.
+
+#define HP_ASSERT(...) ((void)0)
+#define HP_REQUIRE(...) ((void)0)
+#define HP_BOUNDS(index, size) ((void)0)
+#define HP_CHECK_FINITE(value, what) ((void)0)
+#define HP_CHECK_ALL_FINITE(range, what) ((void)0)
+
+#endif  // HP_CONTRACTS

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 #include "linalg/least_squares.hpp"
 #include "linalg/matrix.hpp"
 #include "stats/kfold.hpp"
@@ -68,6 +70,11 @@ HardwareModel::HardwareModel(ModelForm form, linalg::Vector weights,
   if (residual_sd_ < 0.0) {
     throw std::invalid_argument("HardwareModel: negative residual sd");
   }
+  // A NaN weight/sd passes both checks above (NaN < 0 is false) and would
+  // make every feasibility indicator silently unreliable.
+  HP_CHECK_ALL_FINITE(weights_, "HardwareModel weights");
+  HP_CHECK_FINITE(intercept_, "HardwareModel intercept");
+  HP_CHECK_FINITE(residual_sd_, "HardwareModel residual sd");
 }
 
 std::size_t HardwareModel::input_dimension() const {
@@ -78,6 +85,7 @@ double HardwareModel::predict(std::span<const double> z) const {
   if (weights_.empty()) {
     throw std::logic_error("HardwareModel::predict on default-constructed model");
   }
+  HP_CHECK_ALL_FINITE(z, "HardwareModel::predict input z");
   const std::vector<double> features = expand_features(z, form_);
   if (features.size() != weights_.size()) {
     throw std::invalid_argument("HardwareModel::predict: dimension mismatch");
@@ -86,6 +94,7 @@ double HardwareModel::predict(std::span<const double> z) const {
   for (std::size_t j = 0; j < features.size(); ++j) {
     acc += weights_[j] * features[j];
   }
+  HP_CHECK_FINITE(acc, "HardwareModel::predict output");
   return acc;
 }
 
@@ -103,7 +112,9 @@ TrainedHardwareModel train_hardware_model(
     if (row.size() != dim) {
       throw std::invalid_argument("train_hardware_model: ragged features");
     }
+    HP_CHECK_ALL_FINITE(row, "train_hardware_model feature row z");
   }
+  HP_CHECK_ALL_FINITE(y, "train_hardware_model targets y");
   if (z.size() < options.folds) {
     throw std::invalid_argument(
         "train_hardware_model: fewer samples than folds");

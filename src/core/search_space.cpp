@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hp::core {
 
 void ParameterDef::validate() const {
@@ -51,6 +53,8 @@ std::vector<double> HyperParameterSpace::structural_vector(
   for (std::size_t i = 0; i < parameters_.size(); ++i) {
     if (parameters_[i].structural) z.push_back(config[i]);
   }
+  HP_ASSERT(z.size() == structural_count_,
+            "structural_vector: stale structural_count_");
   return z;
 }
 
@@ -62,6 +66,9 @@ Configuration HyperParameterSpace::decode(
   Configuration config(parameters_.size());
   for (std::size_t i = 0; i < parameters_.size(); ++i) {
     const ParameterDef& p = parameters_[i];
+    // std::clamp passes NaN straight through, so a poisoned unit
+    // coordinate would silently decode to a NaN configuration.
+    HP_CHECK_FINITE(unit[i], "HyperParameterSpace::decode unit coordinate");
     const double u = std::clamp(unit[i], 0.0, 1.0);
     switch (p.kind) {
       case ParameterKind::Integer: {
@@ -119,6 +126,7 @@ Configuration HyperParameterSpace::sample(stats::Rng& rng) const {
 Configuration HyperParameterSpace::neighbor(const Configuration& center,
                                             double sigma,
                                             stats::Rng& rng) const {
+  HP_CHECK_FINITE(sigma, "HyperParameterSpace::neighbor sigma");
   if (sigma <= 0.0) {
     throw std::invalid_argument("HyperParameterSpace::neighbor: sigma <= 0");
   }
@@ -136,6 +144,9 @@ void HyperParameterSpace::validate(const Configuration& config) const {
   }
   for (std::size_t i = 0; i < parameters_.size(); ++i) {
     const ParameterDef& p = parameters_[i];
+    // NaN compares false against both bounds and would pass the range
+    // check below; reject it explicitly.
+    HP_CHECK_FINITE(config[i], "HyperParameterSpace configuration value");
     if (config[i] < p.lo || config[i] > p.hi) {
       throw std::invalid_argument("HyperParameterSpace: parameter '" + p.name +
                                   "' out of range");

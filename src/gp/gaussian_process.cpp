@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "obs/obs.hpp"
 
 namespace hp::gp {
@@ -51,6 +52,9 @@ void GaussianProcess::fit(linalg::Matrix x, linalg::Vector y) {
   if (x.rows() != y.size()) {
     throw std::invalid_argument("GaussianProcess::fit: rows(X) != size(y)");
   }
+  // A NaN/Inf target silently poisons alpha and every later acquisition
+  // value; fail at the ingestion point instead.
+  HP_CHECK_ALL_FINITE(y, "GaussianProcess::fit targets y");
   x_ = std::move(x);
   y_ = std::move(y);
   refit();
@@ -72,11 +76,12 @@ void GaussianProcess::refit() {
   obs::ScopedTimer chol_timer("gp.cholesky", &GpMetrics::get().cholesky_s);
   auto chol = linalg::Cholesky::with_jitter(std::move(k));
   chol_timer.stop();
-  if (!chol) {
-    throw std::runtime_error(
-        "GaussianProcess: kernel matrix not positive definite even with "
-        "jitter");
-  }
+  // HP_ENFORCE (never compiled out): proceeding without a factor would
+  // read an empty chol_ and emit garbage predictions, so even Release
+  // builds must report the non-PSD covariance as a ContractViolation.
+  HP_ENFORCE(chol.has_value(),
+             "GaussianProcess: kernel matrix not positive definite even "
+             "with jitter");
   chol_ = std::move(*chol);
   linalg::Vector centered = y_;
   for (std::size_t i = 0; i < centered.size(); ++i) centered[i] -= y_mean_;
@@ -94,6 +99,8 @@ Prediction GaussianProcess::predict(const linalg::Vector& x_star) const {
   const linalg::Vector v = chol_->solve_lower(k_star);
   const double reduction = linalg::dot(v, v);
   p.variance = std::max(0.0, kernel_->diagonal_value() - reduction);
+  HP_CHECK_FINITE(p.mean, "GaussianProcess::predict mean");
+  HP_CHECK_FINITE(p.variance, "GaussianProcess::predict variance");
   return p;
 }
 

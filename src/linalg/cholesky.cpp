@@ -3,9 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hp::linalg {
 
 std::optional<Matrix> Cholesky::factorize(const Matrix& a) {
+  HP_ASSERT(a.square(), "Cholesky::factorize: callers pre-check squareness");
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
@@ -59,9 +62,7 @@ std::optional<Cholesky> Cholesky::with_jitter(Matrix a, double initial_jitter,
 
 Vector Cholesky::solve_lower(const Vector& b) const {
   const std::size_t n = l_.rows();
-  if (b.size() != n) {
-    throw std::invalid_argument("Cholesky::solve_lower: dimension mismatch");
-  }
+  HP_REQUIRE(b.size() == n, "Cholesky::solve_lower: dimension mismatch");
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
@@ -73,9 +74,7 @@ Vector Cholesky::solve_lower(const Vector& b) const {
 
 Vector Cholesky::solve_upper(const Vector& y) const {
   const std::size_t n = l_.rows();
-  if (y.size() != n) {
-    throw std::invalid_argument("Cholesky::solve_upper: dimension mismatch");
-  }
+  HP_REQUIRE(y.size() == n, "Cholesky::solve_upper: dimension mismatch");
   Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];

@@ -6,17 +6,23 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/contracts.hpp"
+
 namespace hp::linalg {
 
 namespace {
-void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
-  if (a.rows() != b.rows() || a.cols() != b.cols()) {
-    throw std::invalid_argument(std::string("Matrix ") + op +
-                                ": shape mismatch (" + std::to_string(a.rows()) +
-                                "x" + std::to_string(a.cols()) + " vs " +
-                                std::to_string(b.rows()) + "x" +
-                                std::to_string(b.cols()) + ")");
-  }
+// Contract detail string for a shape mismatch; only built on failure.
+// [[maybe_unused]]: with HP_CONTRACTS=0 every call site compiles out.
+[[maybe_unused]] std::string shape_mismatch(const char* op, const Matrix& a,
+                                            const Matrix& b) {
+  return std::string("Matrix ") + op + ": shape mismatch (" +
+         std::to_string(a.rows()) + "x" + std::to_string(a.cols()) + " vs " +
+         std::to_string(b.rows()) + "x" + std::to_string(b.cols()) + ")";
+}
+
+[[maybe_unused]] bool same_shape(const Matrix& a,
+                                 const Matrix& b) noexcept {
+  return a.rows() == b.rows() && a.cols() == b.cols();
 }
 }  // namespace
 
@@ -45,57 +51,51 @@ Matrix Matrix::diagonal(const Vector& diag) {
 }
 
 double& Matrix::operator()(std::size_t r, std::size_t c) {
-  if (r >= rows_ || c >= cols_) {
-    throw std::out_of_range("Matrix(): index out of range");
-  }
+  HP_BOUNDS(r, rows_);
+  HP_BOUNDS(c, cols_);
   return data_[r * cols_ + c];
 }
 
 double Matrix::operator()(std::size_t r, std::size_t c) const {
-  if (r >= rows_ || c >= cols_) {
-    throw std::out_of_range("Matrix(): index out of range");
-  }
+  HP_BOUNDS(r, rows_);
+  HP_BOUNDS(c, cols_);
   return data_[r * cols_ + c];
 }
 
 Vector Matrix::row(std::size_t r) const {
-  if (r >= rows_) throw std::out_of_range("Matrix::row out of range");
+  HP_BOUNDS(r, rows_);
   Vector v(cols_);
   for (std::size_t c = 0; c < cols_; ++c) v[c] = data_[r * cols_ + c];
   return v;
 }
 
 Vector Matrix::col(std::size_t c) const {
-  if (c >= cols_) throw std::out_of_range("Matrix::col out of range");
+  HP_BOUNDS(c, cols_);
   Vector v(rows_);
   for (std::size_t r = 0; r < rows_; ++r) v[r] = data_[r * cols_ + c];
   return v;
 }
 
 void Matrix::set_row(std::size_t r, const Vector& v) {
-  if (r >= rows_) throw std::out_of_range("Matrix::set_row out of range");
-  if (v.size() != cols_) {
-    throw std::invalid_argument("Matrix::set_row: dimension mismatch");
-  }
+  HP_BOUNDS(r, rows_);
+  HP_REQUIRE(v.size() == cols_, "Matrix::set_row: dimension mismatch");
   for (std::size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = v[c];
 }
 
 void Matrix::set_col(std::size_t c, const Vector& v) {
-  if (c >= cols_) throw std::out_of_range("Matrix::set_col out of range");
-  if (v.size() != rows_) {
-    throw std::invalid_argument("Matrix::set_col: dimension mismatch");
-  }
+  HP_BOUNDS(c, cols_);
+  HP_REQUIRE(v.size() == rows_, "Matrix::set_col: dimension mismatch");
   for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = v[r];
 }
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
-  require_same_shape(*this, rhs, "+=");
+  HP_REQUIRE(same_shape(*this, rhs), shape_mismatch("+=", *this, rhs));
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
-  require_same_shape(*this, rhs, "-=");
+  HP_REQUIRE(same_shape(*this, rhs), shape_mismatch("-=", *this, rhs));
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
   return *this;
 }
@@ -148,9 +148,7 @@ Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
 Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("Matrix *: inner dimension mismatch");
-  }
+  HP_REQUIRE(a.cols() == b.rows(), "Matrix *: inner dimension mismatch");
   Matrix out(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
@@ -165,9 +163,7 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 }
 
 Vector operator*(const Matrix& a, const Vector& x) {
-  if (a.cols() != x.size()) {
-    throw std::invalid_argument("Matrix * Vector: dimension mismatch");
-  }
+  HP_REQUIRE(a.cols() == x.size(), "Matrix * Vector: dimension mismatch");
   Vector out(a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double acc = 0.0;
@@ -191,9 +187,7 @@ Matrix gram(const Matrix& a) {
 }
 
 Vector transposed_times(const Matrix& a, const Vector& y) {
-  if (a.rows() != y.size()) {
-    throw std::invalid_argument("transposed_times: dimension mismatch");
-  }
+  HP_REQUIRE(a.rows() == y.size(), "transposed_times: dimension mismatch");
   Vector out(a.cols());
   for (std::size_t j = 0; j < a.cols(); ++j) {
     double acc = 0.0;
@@ -204,7 +198,7 @@ Vector transposed_times(const Matrix& a, const Vector& y) {
 }
 
 double max_abs_diff(const Matrix& a, const Matrix& b) {
-  require_same_shape(a, b, "max_abs_diff");
+  HP_REQUIRE(same_shape(a, b), shape_mismatch("max_abs_diff", a, b));
   double m = 0.0;
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < a.cols(); ++c) {

@@ -34,7 +34,8 @@ class Matrix {
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
   [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
 
-  /// Bounds-checked element access; throws std::out_of_range.
+  /// Element access; bounds are an HP_BOUNDS contract (checked builds
+  /// throw hp::core::ContractViolation, Release is unchecked).
   [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
   [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
 
@@ -77,16 +78,16 @@ class Matrix {
 [[nodiscard]] Matrix operator*(Matrix lhs, double s);
 [[nodiscard]] Matrix operator*(double s, Matrix rhs);
 
-/// Matrix-matrix product; throws std::invalid_argument on shape mismatch.
+/// Matrix-matrix product; compatible shapes are an HP_REQUIRE contract.
 [[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
 
-/// Matrix-vector product; throws std::invalid_argument on shape mismatch.
+/// Matrix-vector product; compatible shapes are an HP_REQUIRE contract.
 [[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
 
 /// A^T * A (Gram matrix), computed directly to exploit symmetry.
 [[nodiscard]] Matrix gram(const Matrix& a);
 
-/// A^T * y; throws std::invalid_argument on shape mismatch.
+/// A^T * y; compatible shapes are an HP_REQUIRE contract.
 [[nodiscard]] Vector transposed_times(const Matrix& a, const Vector& y);
 
 /// Maximum absolute entry-wise difference between equal-shaped matrices.

@@ -5,31 +5,40 @@
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+
+#include "core/contracts.hpp"
 
 namespace hp::linalg {
 
 namespace {
-void require_same_size(const Vector& a, const Vector& b, const char* op) {
-  if (a.size() != b.size()) {
-    throw std::invalid_argument(std::string("Vector ") + op +
-                                ": dimension mismatch (" +
-                                std::to_string(a.size()) + " vs " +
-                                std::to_string(b.size()) + ")");
-  }
+// Contract detail string for a dimension mismatch; only built on failure.
+// [[maybe_unused]]: with HP_CONTRACTS=0 every call site compiles out.
+[[maybe_unused]] std::string size_mismatch(const char* op, std::size_t a,
+                                           std::size_t b) {
+  return std::string("Vector ") + op + ": dimension mismatch (" +
+         std::to_string(a) + " vs " + std::to_string(b) + ")";
 }
 }  // namespace
 
-double& Vector::operator[](std::size_t i) { return data_.at(i); }
-double Vector::operator[](std::size_t i) const { return data_.at(i); }
+double& Vector::operator[](std::size_t i) {
+  HP_BOUNDS(i, data_.size());
+  return data_[i];
+}
+
+double Vector::operator[](std::size_t i) const {
+  HP_BOUNDS(i, data_.size());
+  return data_[i];
+}
 
 Vector& Vector::operator+=(const Vector& rhs) {
-  require_same_size(*this, rhs, "+=");
+  HP_REQUIRE(size() == rhs.size(), size_mismatch("+=", size(), rhs.size()));
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& rhs) {
-  require_same_size(*this, rhs, "-=");
+  HP_REQUIRE(size() == rhs.size(), size_mismatch("-=", size(), rhs.size()));
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
   return *this;
 }
@@ -40,7 +49,7 @@ Vector& Vector::operator*=(double s) noexcept {
 }
 
 Vector& Vector::operator/=(double s) {
-  if (s == 0.0) throw std::invalid_argument("Vector /=: division by zero");
+  HP_REQUIRE(s != 0.0, "Vector /=: division by zero");
   for (double& x : data_) x /= s;
   return *this;
 }
@@ -77,21 +86,23 @@ Vector operator*(double s, Vector rhs) { return rhs *= s; }
 Vector operator/(Vector lhs, double s) { return lhs /= s; }
 
 double dot(const Vector& a, const Vector& b) {
-  require_same_size(a, b, "dot");
+  HP_REQUIRE(a.size() == b.size(), size_mismatch("dot", a.size(), b.size()));
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
 }
 
 Vector hadamard(const Vector& a, const Vector& b) {
-  require_same_size(a, b, "hadamard");
+  HP_REQUIRE(a.size() == b.size(),
+             size_mismatch("hadamard", a.size(), b.size()));
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
   return out;
 }
 
 double max_abs_diff(const Vector& a, const Vector& b) {
-  require_same_size(a, b, "max_abs_diff");
+  HP_REQUIRE(a.size() == b.size(),
+             size_mismatch("max_abs_diff", a.size(), b.size()));
   double m = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     m = std::max(m, std::abs(a[i] - b[i]));

@@ -5,8 +5,9 @@
 // Design notes: the library deals with small/medium dense problems (GP
 // kernel matrices of a few hundred rows, least-squares designs with tens of
 // columns), so the implementation favours clarity and safety over cache
-// blocking. All sizes are std::size_t; mismatched dimensions throw
-// std::invalid_argument rather than being UB.
+// blocking. All sizes are std::size_t. Bounds and dimension checks are
+// contracts (src/core/contracts.hpp): checked builds throw
+// hp::core::ContractViolation, Release builds compile the checks out.
 
 #include <cstddef>
 #include <initializer_list>
@@ -29,7 +30,8 @@ class Vector {
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
-  /// Bounds-checked element access; throws std::out_of_range.
+  /// Element access; bounds are an HP_BOUNDS contract (checked builds
+  /// throw hp::core::ContractViolation, Release is unchecked).
   [[nodiscard]] double& operator[](std::size_t i);
   [[nodiscard]] double operator[](std::size_t i) const;
 
@@ -70,10 +72,10 @@ class Vector {
 [[nodiscard]] Vector operator*(double s, Vector rhs);
 [[nodiscard]] Vector operator/(Vector lhs, double s);
 
-/// Inner product; throws std::invalid_argument on dimension mismatch.
+/// Inner product; equal dimensions are an HP_REQUIRE contract.
 [[nodiscard]] double dot(const Vector& a, const Vector& b);
 
-/// Element-wise product; throws std::invalid_argument on dimension mismatch.
+/// Element-wise product; equal dimensions are an HP_REQUIRE contract.
 [[nodiscard]] Vector hadamard(const Vector& a, const Vector& b);
 
 /// Maximum absolute difference between two vectors of equal size.

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "core/contracts.hpp"
+
 namespace hp::parallel {
 
 /// Shared state of one parallel_for call. Heap-allocated and shared with
@@ -72,6 +74,7 @@ void ThreadPool::instrument_job(std::function<void()>& job) {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> job) {
+  HP_REQUIRE(job != nullptr, "ThreadPool::submit: null job");
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(job));
   std::future<void> future = task->get_future();
   if (workers_.empty()) {
@@ -82,6 +85,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   instrument_job(wrapped);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    HP_ASSERT(!stopping_, "ThreadPool::submit during shutdown");
     queue_.emplace_back(std::move(wrapped));
   }
   queue_cv_.notify_one();
@@ -89,6 +93,8 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
+  HP_ASSERT(batch != nullptr && batch->body != nullptr,
+            "ThreadPool batch without a body");
   std::size_t done_here = 0;
   for (;;) {
     const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +113,8 @@ void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
   if (done_here > 0) {
     std::lock_guard<std::mutex> lock(batch->mutex);
     batch->finished += done_here;
+    HP_ASSERT(batch->finished <= batch->n,
+              "ThreadPool batch over-counted finished indices");
     if (batch->finished == batch->n) batch->done_cv.notify_all();
   }
 }
@@ -136,6 +144,7 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t helpers = std::min(workers_.size(), n - 1);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    HP_ASSERT(!stopping_, "ThreadPool::parallel_for during shutdown");
     for (std::size_t i = 0; i < helpers; ++i) {
       std::function<void()> helper = [batch] { run_batch_share(batch); };
       instrument_job(helper);

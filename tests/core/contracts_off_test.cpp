@@ -1,0 +1,68 @@
+// Compiled-out semantics of the contract layer: this TU forces
+// HP_CONTRACTS to 0 (overriding the build-wide definition) before
+// including contracts.hpp, mirroring what a Release build does tree-wide.
+// The checked macros must become no-ops that do not even evaluate their
+// operands; HP_ENFORCE must keep firing.
+//
+// Only contracts.hpp may be included under the override: the rest of the
+// library was compiled with the build-wide setting, and mixing the two
+// within one TU would test nothing.
+
+#ifdef HP_CONTRACTS
+#undef HP_CONTRACTS
+#endif
+#define HP_CONTRACTS 0
+
+#include "core/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace hp::core {
+namespace {
+
+static_assert(HP_CONTRACTS == 0, "this TU must compile contracts out");
+
+TEST(ContractsOff, ChecksAreNoOps) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> poisoned{nan};
+  EXPECT_NO_THROW({
+    HP_ASSERT(false, "would fire in a checked build");
+    HP_REQUIRE(false);
+    HP_BOUNDS(std::size_t{5}, std::size_t{2});
+    HP_CHECK_FINITE(nan, "nan");
+    HP_CHECK_ALL_FINITE(poisoned, "poisoned");
+  });
+}
+
+TEST(ContractsOff, ConditionsAreNotEvaluated) {
+  // Matches the assert() model: a compiled-out contract must cost zero,
+  // so its operands are never evaluated.
+  int evaluations = 0;
+  // [[maybe_unused]]: with contracts compiled out the macro never calls it,
+  // which is exactly what the test demonstrates.
+  [[maybe_unused]] const auto probe = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  HP_ASSERT(probe());
+  HP_REQUIRE(probe(), "detail");
+  HP_BOUNDS((++evaluations, std::size_t{9}), std::size_t{1});
+  HP_CHECK_FINITE((++evaluations,
+                   std::numeric_limits<double>::quiet_NaN()),
+                  "never read");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsOff, EnforceStillFires) {
+  EXPECT_THROW(HP_ENFORCE(false, "load-bearing even in Release"),
+               ContractViolation);
+  int evaluations = 0;
+  EXPECT_NO_THROW(HP_ENFORCE(++evaluations > 0, "passes"));
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace hp::core

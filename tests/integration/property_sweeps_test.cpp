@@ -160,8 +160,8 @@ TEST_P(SeedDeterminism, IdenticalRunsForIdenticalSeeds) {
 INSTANTIATE_TEST_SUITE_P(AllMethods, SeedDeterminism,
                          ::testing::Values(Method::Rand, Method::RandWalk,
                                            Method::HwCwei, Method::HwIeci),
-                         [](const ::testing::TestParamInfo<Method>& info) {
-                           std::string name = to_string(info.param);
+                         [](const ::testing::TestParamInfo<Method>& param) {
+                           std::string name = to_string(param.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

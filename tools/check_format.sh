@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Diff-mode formatting gate: runs clang-format (config: .clang-format) in
+# dry-run mode over the C++ files changed relative to a base ref, or over
+# explicitly listed files. Never reformats anything — the tree predates
+# the config and a mass reformat would destroy blame.
+#
+# Usage:
+#   tools/check_format.sh                  # changed vs origin/main or HEAD~1
+#   tools/check_format.sh --base REF       # changed vs REF
+#   tools/check_format.sh FILE...          # exactly these files
+#   tools/check_format.sh --require ...    # missing clang-format = failure
+#
+# Exit status: 0 clean (or tool missing without --require), 1 formatting
+# diffs or missing tool with --require, 2 usage error.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+base=""
+require=0
+files=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --base)
+      [ $# -ge 2 ] || { echo "error: --base needs a ref" >&2; exit 2; }
+      base=$2
+      shift 2
+      ;;
+    --require)
+      require=1
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    -*)
+      echo "error: unknown option '$1'" >&2
+      exit 2
+      ;;
+    *)
+      files="$files $1"
+      shift
+      ;;
+  esac
+done
+
+clang_format=""
+for candidate in clang-format clang-format-19 clang-format-18 \
+                 clang-format-17 clang-format-16 clang-format-15; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clang_format=$candidate
+    break
+  fi
+done
+if [ -z "$clang_format" ]; then
+  echo "WARNING: no clang-format executable found;" >&2
+  echo "         skip-impossible: the format check cannot run on this" >&2
+  echo "         toolchain. Install clang-format to enable it." >&2
+  [ "$require" -eq 1 ] && exit 1
+  exit 0
+fi
+
+if [ -z "$files" ]; then
+  if [ -z "$base" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base=$(git merge-base HEAD origin/main)
+    else
+      base=HEAD~1
+    fi
+  fi
+  files=$(git diff --name-only --diff-filter=ACMR "$base" -- \
+            '*.cpp' '*.hpp' '*.h' '*.cc' '*.cxx')
+fi
+
+checked=0
+status=0
+for f in $files; do
+  [ -f "$f" ] || continue
+  checked=$((checked + 1))
+  if ! "$clang_format" --dry-run --Werror "$f"; then
+    status=1
+  fi
+done
+
+echo "check_format: $checked file(s) checked with $clang_format" >&2
+[ "$status" -eq 0 ] && echo "check_format: clean" >&2
+exit "$status"

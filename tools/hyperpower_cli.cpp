@@ -9,10 +9,10 @@
 //
 // Examples:
 //   hyperpower profile --problem cifar10 --device "GTX 1070" --samples 100
-//   hyperpower train --problem mnist --device "Tegra TX1" \
+//   hyperpower train --problem mnist --device "Tegra TX1"
 //       --power-model /tmp/power.hpm
-//   hyperpower optimize --problem cifar10 --device "GTX 1070" \
-//       --method hw-ieci --power-budget 90 --memory-budget 720 \
+//   hyperpower optimize --problem cifar10 --device "GTX 1070"
+//       --method hw-ieci --power-budget 90 --memory-budget 720
 //       --hours 5 --seed 1 --trace /tmp/trace.csv
 //   hyperpower pareto --problem cifar10 --device "GTX 1070" --hours 2
 

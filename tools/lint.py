@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Project linter: invariants clang-tidy cannot express.
+
+Rules (see DESIGN.md §10 for rationale and how to add one):
+
+  determinism-random    No rand()/srand()/std::random_device outside
+                        src/stats — every random draw must flow through
+                        stats::Rng so runs stay seed-reproducible.
+  library-io            No std::cout/std::cerr/printf-family writes in
+                        library code (src/); report through the src/obs
+                        Logger. Sink implementations in src/obs are the
+                        one sanctioned exception.
+  exception-swallow     Every `catch (...)` must rethrow or capture via
+                        std::current_exception(); silently swallowing
+                        unknown exceptions hides contract violations.
+  pragma-once           Every header starts with #pragma once.
+  self-include-first    A library .cpp includes its own header first, so
+                        each header proves it is self-contained.
+  include-exists        Quoted project includes resolve to real files
+                        (catches stale paths left by refactors).
+  no-bits-include       No <bits/...> includes (libstdc++ internals).
+  header-no-iostream    Headers use <iosfwd>, never <iostream> — the
+                        static init fiasco plus compile-time cost.
+
+Usage: tools/lint.py [--root DIR]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+# (rule, regex, message). Patterns are matched per line, comments stripped.
+RANDOMNESS = [
+    (re.compile(r"std::random_device|\brandom_device\b"),
+     "std::random_device breaks run reproducibility; derive streams from "
+     "stats::Rng / stats::stream_seed instead"),
+    # rand() is nullary and srand() unary, which keeps locals that happen
+    # to be named `rand` (e.g. a RandomSearchOptimizer) out of scope.
+    (re.compile(r"(?<![\w:.])rand\s*\(\s*\)|(?<![\w:.])srand\s*\("),
+     "C rand()/srand() is non-deterministic across platforms; use "
+     "stats::Rng"),
+]
+
+LIBRARY_IO = re.compile(
+    r"std::cout|std::cerr|(?<![\w:.])(?:printf|fprintf|puts|putchar)\s*\(")
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals first, then // comments."""
+    return COMMENT_RE.sub("", STRING_RE.sub('""', line))
+
+
+def iter_source_files(root: Path):
+    for dirname in SCAN_DIRS:
+        base = root / dirname
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CPP_EXTENSIONS and path.is_file():
+                yield path
+
+
+def in_dir(path: Path, root: Path, *parts: str) -> bool:
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        return False
+    return rel.parts[: len(parts)] == parts
+
+
+def check_randomness(path, root, lines, findings):
+    if not in_dir(path, root, "src") and not in_dir(path, root, "bench"):
+        return
+    if in_dir(path, root, "src", "stats"):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        for pattern, message in RANDOMNESS:
+            if pattern.search(line):
+                findings.append(
+                    Finding(path, lineno, "determinism-random", message))
+
+
+def check_library_io(path, root, lines, findings):
+    if not in_dir(path, root, "src") or in_dir(path, root, "src", "obs"):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        if LIBRARY_IO.search(strip_noise(raw)):
+            findings.append(Finding(
+                path, lineno, "library-io",
+                "library code must report through the src/obs Logger, not "
+                "write to stdio directly"))
+
+
+CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+RETHROW_RE = re.compile(r"\bthrow\b|current_exception|rethrow_exception")
+
+
+def check_exception_swallow(path, root, lines, findings):
+    text = "\n".join(strip_noise(line) for line in lines)
+    for match in CATCH_ALL_RE.finditer(text):
+        brace = text.find("{", match.end())
+        if brace < 0:
+            continue
+        depth, end = 0, len(text)
+        for i in range(brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        body = text[brace:end]
+        if not RETHROW_RE.search(body):
+            lineno = text.count("\n", 0, match.start()) + 1
+            findings.append(Finding(
+                path, lineno, "exception-swallow",
+                "catch (...) must rethrow or capture via "
+                "std::current_exception(); swallowing hides failures"))
+
+
+def check_pragma_once(path, root, lines, findings):
+    if path.suffix not in {".hpp", ".h"}:
+        return
+    for raw in lines:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped != "#pragma once":
+            findings.append(Finding(
+                path, 1, "pragma-once",
+                "headers must start with #pragma once"))
+        return
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+
+def parsed_includes(lines):
+    for lineno, raw in enumerate(lines, 1):
+        m = INCLUDE_RE.match(raw)
+        if m:
+            yield lineno, m.group(1) == '"', m.group(2)
+
+
+def check_includes(path, root, lines, findings):
+    quoted_seen = []
+    for lineno, is_quoted, target in parsed_includes(lines):
+        if not is_quoted:
+            if target.startswith("bits/"):
+                findings.append(Finding(
+                    path, lineno, "no-bits-include",
+                    f"<{target}> is a libstdc++ internal; include the "
+                    "standard header instead"))
+            if target == "iostream" and path.suffix in {".hpp", ".h"}:
+                findings.append(Finding(
+                    path, lineno, "header-no-iostream",
+                    "headers must use <iosfwd>; <iostream> drags in static "
+                    "init and slows every includer"))
+            continue
+        quoted_seen.append((lineno, target))
+        resolved = (root / "src" / target, path.parent / target,
+                    root / "tests" / target, root / "bench" / target)
+        if not any(p.is_file() for p in resolved):
+            findings.append(Finding(
+                path, lineno, "include-exists",
+                f'"{target}" does not resolve against src/, tests/, bench/, '
+                "or the including directory"))
+
+    # self-include-first: library .cpp files only (tests/benches aggregate).
+    if path.suffix == ".cpp" and in_dir(path, root, "src") and quoted_seen:
+        own_header = path.with_suffix(".hpp")
+        if own_header.is_file():
+            expected = str(own_header.relative_to(root / "src"))
+            first_lineno, first_target = quoted_seen[0]
+            if first_target != expected:
+                findings.append(Finding(
+                    path, first_lineno, "self-include-first",
+                    f'first include must be "{expected}" so the header '
+                    "proves self-contained"))
+
+
+CHECKS = (
+    check_randomness,
+    check_library_io,
+    check_exception_swallow,
+    check_pragma_once,
+    check_includes,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"error: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    scanned = 0
+    for path in iter_source_files(root):
+        scanned += 1
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for check in CHECKS:
+            check(path, root, lines, findings)
+
+    for finding in findings:
+        try:
+            shown = Finding(finding.path.relative_to(root), finding.line,
+                            finding.rule, finding.message)
+        except ValueError:
+            shown = finding
+        print(shown)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint: {scanned} files scanned, {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,59 @@
 #!/usr/bin/env sh
-# Tier-1 verification wrapper: configure + build + ctest on the default
-# build, then rebuild the concurrency suites under ThreadSanitizer and run
-# them (see tests/README.md). Run from anywhere; builds land in the repo
-# root as build/ and build-tsan/ (both gitignored).
+# Tier-1 verification wrapper, four phases (see tests/README.md):
+#   1. default build + full ctest suite
+#   2. ThreadSanitizer rebuild of the concurrency suites (test_parallel,
+#      test_obs), run directly
+#   3. AddressSanitizer (+LeakSanitizer) rebuild, full ctest suite
+#   4. UndefinedBehaviorSanitizer rebuild (non-recoverable), full ctest
+# plus the project lint gate. Run from anywhere; builds land in the repo
+# root as build/, build-tsan/, build-asan/, build-ubsan/ (all gitignored).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
 jobs=$(nproc 2>/dev/null || echo 2)
+cxx=${CXX:-c++}
+
+probe_dir=$(mktemp -d)
+trap 'rm -rf "$probe_dir"' EXIT INT TERM
+
+# probe_sanitizer NAME FLAG — verifies the toolchain can compile AND link
+# -fsanitize=FLAG. A compiler can accept the flag yet fail at link time
+# when the runtime library is not installed, and that failure should read
+# as a toolchain gap, not a project bug. Every sanitizer phase fails with
+# the same skip-impossible message pattern.
+probe_sanitizer() {
+  probe_name=$1
+  probe_flag=$2
+  printf 'int main() { return 0; }\n' > "$probe_dir/probe.cpp"
+  if ! "$cxx" "-fsanitize=$probe_flag" -o "$probe_dir/probe" \
+      "$probe_dir/probe.cpp" 2> "$probe_dir/probe.err"; then
+    echo "ERROR: '$cxx' cannot compile and link with -fsanitize=$probe_flag;" >&2
+    echo "       skip-impossible: the $probe_name phase cannot run on" >&2
+    echo "       this toolchain. Compiler output:" >&2
+    sed 's/^/       /' "$probe_dir/probe.err" >&2
+    exit 1
+  fi
+}
+
+# sanitizer_ctest_phase NAME FLAG BUILD_DIR — configure + build the test
+# tree under one sanitizer and run the full ctest suite in it. Benches and
+# examples stay off: the suite is the correctness surface, and mixing
+# instrumented/uninstrumented objects is what produces false positives.
+sanitizer_ctest_phase() {
+  phase_name=$1
+  phase_flag=$2
+  phase_dir=$3
+  probe_sanitizer "$phase_name" "$phase_flag"
+  cmake -B "$phase_dir" -S . "-DHYPERPOWER_SANITIZE=$phase_flag" \
+    -DHYPERPOWER_BUILD_BENCHES=OFF -DHYPERPOWER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$phase_dir" -j "$jobs"
+  ctest --test-dir "$phase_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== tier 1: project lint =="
+python3 tools/lint.py
 
 echo "== tier 1: default build =="
 cmake -B build -S . >/dev/null
@@ -16,30 +61,22 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== tier 1: ThreadSanitizer pass (test_parallel + test_obs) =="
-# Probe the toolchain first: -fsanitize=thread can be accepted by the
-# compiler yet fail at link time when the TSan runtime is not installed,
-# and that failure should read as a toolchain gap, not a project bug.
-cxx=${CXX:-c++}
-probe_dir=$(mktemp -d)
-trap 'rm -rf "$probe_dir"' EXIT INT TERM
-printf 'int main() { return 0; }\n' > "$probe_dir/probe.cpp"
-if ! "$cxx" -fsanitize=thread -o "$probe_dir/probe" "$probe_dir/probe.cpp" \
-    2> "$probe_dir/probe.err"; then
-  echo "ERROR: '$cxx' cannot compile and link with -fsanitize=thread;" >&2
-  echo "       skip-impossible: the ThreadSanitizer phase cannot run on" >&2
-  echo "       this toolchain. Compiler output:" >&2
-  sed 's/^/       /' "$probe_dir/probe.err" >&2
-  exit 1
-fi
-
+probe_sanitizer "ThreadSanitizer" thread
 cmake -B build-tsan -S . -DHYPERPOWER_SANITIZE=thread \
   -DHYPERPOWER_BUILD_BENCHES=OFF -DHYPERPOWER_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$jobs" --target test_parallel test_obs
-
 # Run the freshly built binaries directly. ctest-ing build-tsan would run
 # discovery over every registered test target, most of which this phase
 # deliberately never builds.
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_obs
+
+echo "== tier 1: AddressSanitizer (+LSan) pass (full suite) =="
+ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:${ASAN_OPTIONS:-}" \
+  sanitizer_ctest_phase "AddressSanitizer" address build-asan
+
+echo "== tier 1: UndefinedBehaviorSanitizer pass (full suite) =="
+UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}" \
+  sanitizer_ctest_phase "UndefinedBehaviorSanitizer" undefined build-ubsan
 
 echo "== all tier-1 checks passed =="
