@@ -1,0 +1,71 @@
+#include "core/fault_injection.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace hp::core {
+
+std::uint64_t hash_configuration(const Configuration& config) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  for (const double v : config) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    h = stats::splitmix64(h ^ bits);
+  }
+  return h;
+}
+
+std::optional<FailureKind> FaultInjectingObjective::scheduled_fault(
+    const Configuration& config, std::size_t attempt) const {
+  stats::Rng rng(stats::stream_seed(
+      spec_.seed, hash_configuration(config) ^ stats::splitmix64(attempt)));
+  if (!rng.bernoulli(spec_.failure_rate)) return std::nullopt;
+  const double weights[] = {spec_.transient_weight, spec_.persistent_weight,
+                            spec_.timeout_weight, spec_.diverged_weight};
+  constexpr FailureKind kinds[] = {FailureKind::Transient,
+                                   FailureKind::Persistent,
+                                   FailureKind::Timeout, FailureKind::Diverged};
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) return FailureKind::Transient;
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u -= weights[i];
+    if (u < 0.0) return kinds[i];
+  }
+  return kinds[3];
+}
+
+void FaultInjectingObjective::maybe_fail(const Configuration& config) {
+  // Outside a resilient evaluation current_attempt() is 0; treat that as
+  // the first attempt so direct objective calls see the same schedule.
+  std::size_t attempt = current_attempt();
+  if (attempt == 0) attempt = 1;
+  const std::optional<FailureKind> kind = scheduled_fault(config, attempt);
+  if (!kind) return;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  if (*kind == FailureKind::Timeout && spec_.hang_s > 0.0) {
+    // Simulated hang: real sleep so the watchdog deadline can fire first.
+    std::this_thread::sleep_for(std::chrono::duration<double>(spec_.hang_s));
+  }
+  throw EvalFailure(*kind, "injected " + to_string(*kind) + " fault",
+                    spec_.failed_attempt_cost_s);
+}
+
+EvaluationRecord FaultInjectingObjective::evaluate(
+    const Configuration& config,
+    const EarlyTerminationRule* early_termination) {
+  maybe_fail(config);
+  return inner_.evaluate(config, early_termination);
+}
+
+EvaluationRecord FaultInjectingObjective::evaluate_detached(
+    const Configuration& config,
+    const EarlyTerminationRule* early_termination) {
+  maybe_fail(config);
+  return inner_.evaluate_detached(config, early_termination);
+}
+
+}  // namespace hp::core

@@ -23,8 +23,32 @@ std::string to_string(EvaluationStatus status) {
       return "model_filtered";
     case EvaluationStatus::InfeasibleArchitecture:
       return "infeasible_architecture";
+    case EvaluationStatus::Failed:
+      return "failed";
   }
   return "unknown";
+}
+
+std::string to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Transient:
+      return "transient";
+    case FailureKind::Persistent:
+      return "persistent";
+    case FailureKind::Timeout:
+      return "timeout";
+    case FailureKind::Diverged:
+      return "diverged";
+  }
+  return "unknown";
+}
+
+std::optional<FailureKind> failure_kind_from_string(const std::string& name) {
+  if (name == "transient") return FailureKind::Transient;
+  if (name == "persistent") return FailureKind::Persistent;
+  if (name == "timeout") return FailureKind::Timeout;
+  if (name == "diverged") return FailureKind::Diverged;
+  return std::nullopt;
 }
 
 }  // namespace hp::core

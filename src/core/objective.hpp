@@ -28,9 +28,33 @@ enum class EvaluationStatus {
   /// Network generation failed (spatial dimensions collapsed); the
   /// framework only paid the generation attempt.
   InfeasibleArchitecture,
+  /// Every evaluation attempt threw (or the first failure was
+  /// non-retryable): the candidate was recorded and skipped instead of
+  /// killing the run (see core/resilience.hpp).
+  Failed,
 };
 
 [[nodiscard]] std::string to_string(EvaluationStatus status);
+
+/// Failure taxonomy of the resilience layer (core/resilience.hpp): how an
+/// evaluation attempt failed, which decides whether it is retried.
+enum class FailureKind {
+  /// Flaky infrastructure (lost worker, sensor glitch): worth retrying.
+  Transient,
+  /// Deterministic defect (bad spec, model too large): retrying cannot
+  /// help.
+  Persistent,
+  /// The attempt blew its wall-clock deadline (hung candidate); retried,
+  /// since hangs are usually environmental.
+  Timeout,
+  /// Training reported an unrecoverable numeric blow-up (NaN loss) before
+  /// the early-termination rule could catch it; not retried.
+  Diverged,
+};
+
+[[nodiscard]] std::string to_string(FailureKind kind);
+[[nodiscard]] std::optional<FailureKind> failure_kind_from_string(
+    const std::string& name);
 
 /// One queried sample with everything the experiment tables need.
 struct EvaluationRecord {
@@ -47,12 +71,22 @@ struct EvaluationRecord {
   /// True if the *measured* values violate the active budgets (set by the
   /// optimizer; ModelFiltered samples count as violating by prediction).
   bool violates_constraints = false;
-  /// Clock cost of handling this sample (training + profiling + overhead).
+  /// Clock cost of handling this sample (training + profiling + overhead,
+  /// plus failed attempts and retry backoff when the sample was retried).
   double cost_s = 0.0;
   /// Clock timestamp when the sample finished (filled by the optimizer).
   double timestamp_s = 0.0;
   /// 0-based sample index within the run (filled by the optimizer).
   std::size_t index = 0;
+  /// False when measured_power_w / measured_memory_mb came from the
+  /// predictive fallback models after live sensor reads failed (graceful
+  /// degradation), not from the sensors themselves.
+  bool measured = true;
+  /// Evaluation attempts consumed (1 = the first try succeeded; > 1 means
+  /// the resilience layer retried).
+  std::size_t attempts = 1;
+  /// Terminal failure kind when status == Failed.
+  std::optional<FailureKind> failure_kind;
 
   /// A sample counts toward the incumbent only if it completed training and
   /// satisfies the (measured) constraints.

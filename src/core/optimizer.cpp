@@ -22,7 +22,10 @@ struct OptMetrics {
   obs::Counter& model_filtered;
   obs::Counter& early_terminated;
   obs::Counter& infeasible;
+  obs::Counter& failed;
   obs::Counter& measured_violations;
+  obs::Counter& retries;
+  obs::Counter& fallbacks;
   obs::Counter& rounds;
   obs::Histogram& propose_s;
   obs::Histogram& round_evaluate_s;
@@ -38,7 +41,10 @@ struct OptMetrics {
         m.counter("optimizer.model_filtered"),
         m.counter("optimizer.early_terminated"),
         m.counter("optimizer.infeasible_architectures"),
+        m.counter("optimizer.failed"),
         m.counter("optimizer.measured_violations"),
+        m.counter("optimizer.eval_retries"),
+        m.counter("optimizer.sensor_fallbacks"),
         m.counter("optimizer.rounds"),
         m.histogram("optimizer.propose_s"),
         m.histogram("optimizer.round_evaluate_s"),
@@ -111,12 +117,34 @@ void Optimizer::finalize_record(EvaluationRecord& record, RunTrace& trace,
   }
   observe_record(record, trace, function_evaluations);
   observe(record);
+  const bool failed = record.status == EvaluationStatus::Failed;
   trace.add(std::move(record));
+  // Journal after the record is final (index/timestamp/classification
+  // set): the journal's crash-safety contract is "what it holds can be
+  // replayed verbatim".
+  journal_.append(trace.records().back());
+  if (failed) {
+    ++consecutive_failures_;
+  } else {
+    consecutive_failures_ = 0;
+  }
 }
 
-void Optimizer::observe_record(const EvaluationRecord& record,
-                               const RunTrace& trace,
-                               std::size_t function_evaluations) {
+bool Optimizer::check_abort(Result& result) {
+  const std::size_t limit = options_.retry.max_consecutive_failed_samples;
+  if (limit == 0 || consecutive_failures_ < limit) return false;
+  result.aborted = true;
+  result.abort_reason = "aborted after " +
+                        std::to_string(consecutive_failures_) +
+                        " consecutive failed evaluations";
+  obs::logger().error("optimizer.aborted",
+                      {{"consecutive_failures",
+                        obs::JsonValue(consecutive_failures_)},
+                       {"samples", obs::JsonValue(result.trace.size())}});
+  return true;
+}
+
+void Optimizer::tally_record(const EvaluationRecord& record) {
   switch (record.status) {
     case EvaluationStatus::Completed:
       ++tally_.completed;
@@ -130,11 +158,28 @@ void Optimizer::observe_record(const EvaluationRecord& record,
     case EvaluationStatus::InfeasibleArchitecture:
       ++tally_.infeasible;
       break;
+    case EvaluationStatus::Failed:
+      ++tally_.failed;
+      break;
   }
+  if (record.status == EvaluationStatus::Completed &&
+      record.violates_constraints) {
+    ++tally_.measured_violations;
+  }
+  tally_.retries += record.attempts > 0 ? record.attempts - 1 : 0;
+  if (!record.measured &&
+      (record.measured_power_w || record.measured_memory_mb)) {
+    ++tally_.fallbacks;
+  }
+}
+
+void Optimizer::observe_record(const EvaluationRecord& record,
+                               const RunTrace& trace,
+                               std::size_t function_evaluations) {
+  tally_record(record);
   const bool measured_violation =
       record.status == EvaluationStatus::Completed &&
       record.violates_constraints;
-  if (measured_violation) ++tally_.measured_violations;
 
   if (obs::metrics().enabled()) {
     OptMetrics& m = OptMetrics::get();
@@ -155,8 +200,16 @@ void Optimizer::observe_record(const EvaluationRecord& record,
       case EvaluationStatus::InfeasibleArchitecture:
         m.infeasible.add(1);
         break;
+      case EvaluationStatus::Failed:
+        m.failed.add(1);
+        break;
     }
     if (measured_violation) m.measured_violations.add(1);
+    if (record.attempts > 1) m.retries.add(record.attempts - 1);
+    if (!record.measured &&
+        (record.measured_power_w || record.measured_memory_mb)) {
+      m.fallbacks.add(1);
+    }
   }
 
   obs::Logger& log = obs::logger();
@@ -167,6 +220,7 @@ void Optimizer::observe_record(const EvaluationRecord& record,
                {"error", obs::JsonValue(record.test_error)},
                {"cost_s", obs::JsonValue(record.cost_s)},
                {"clock_s", obs::JsonValue(record.timestamp_s)},
+               {"attempts", obs::JsonValue(record.attempts)},
                {"violates", obs::JsonValue(record.violates_constraints)}});
   }
   if (log.enabled(obs::LogLevel::kInfo)) {
@@ -178,6 +232,9 @@ void Optimizer::observe_record(const EvaluationRecord& record,
         {"violations", obs::JsonValue(tally_.measured_violations)},
         {"clock_s", obs::JsonValue(record.timestamp_s)},
     };
+    if (tally_.failed > 0) {
+      fields.push_back({"failed", obs::JsonValue(tally_.failed)});
+    }
     if (incumbent_) {
       fields.push_back({"best_error", obs::JsonValue(incumbent_->test_error)});
     }
@@ -194,8 +251,18 @@ void Optimizer::observe_record(const EvaluationRecord& record,
   }
 }
 
-Optimizer::Result Optimizer::run() {
+Optimizer::Result Optimizer::run() { return run_impl(nullptr); }
+
+Optimizer::Result Optimizer::resume(
+    const std::vector<EvaluationRecord>& completed) {
+  return run_impl(&completed);
+}
+
+Optimizer::Result Optimizer::run_impl(
+    const std::vector<EvaluationRecord>* replay) {
   tally_ = RunTally{};
+  incumbent_.reset();
+  consecutive_failures_ = 0;
   obs::Logger& log = obs::logger();
   if (log.enabled(obs::LogLevel::kInfo)) {
     log.info("optimizer.run",
@@ -205,10 +272,45 @@ Optimizer::Result Optimizer::run() {
                                           : std::string("sequential"))},
               {"seed", obs::JsonValue(options_.seed)},
               {"batch_size", obs::JsonValue(options_.batch_size)},
-              {"num_threads", obs::JsonValue(options_.num_threads)}});
+              {"num_threads", obs::JsonValue(options_.num_threads)},
+              {"resumed", obs::JsonValue(replay != nullptr)}});
   }
-  Result result =
-      options_.batch_size > 1 ? run_batched() : run_sequential();
+
+  // Batched mode replays only whole rounds: round r's proposals (and the
+  // constant-liar surrogate state behind them) are a function of rounds
+  // 0..r-1, so a partial round cannot be re-aligned — it is dropped and
+  // re-evaluated instead (index-pure evaluations make the records come
+  // out identical).
+  std::vector<EvaluationRecord> kept;
+  if (replay != nullptr) {
+    kept = *replay;
+    if (options_.batch_size > 1) {
+      kept.resize(kept.size() / options_.batch_size * options_.batch_size);
+    }
+  }
+
+  journal_ = EvalJournal{};
+  if (!options_.journal_path.empty()) {
+    const JournalHeader header{name(), options_.seed, options_.batch_size};
+    journal_ = replay != nullptr
+                   ? EvalJournal::rewrite(options_.journal_path, header, kept)
+                   : EvalJournal::create(options_.journal_path, header);
+  }
+
+  LoopState state;
+  state.rng = stats::Rng(options_.seed);
+  if (!kept.empty()) {
+    replay_records(kept, state);
+    log.info("optimizer.resume",
+             {{"replayed", obs::JsonValue(kept.size())},
+              {"dropped", obs::JsonValue(replay->size() - kept.size())},
+              {"clock_s", obs::JsonValue(objective_.clock().now_s())}});
+  }
+
+  ResilientEvaluator evaluator(objective_, options_.retry, options_.seed);
+  Result result = options_.batch_size > 1
+                      ? run_batched(std::move(state), evaluator)
+                      : run_sequential(std::move(state), evaluator);
   if (log.enabled(obs::LogLevel::kInfo)) {
     std::vector<obs::LogField> fields{
         {"method", obs::JsonValue(name())},
@@ -217,7 +319,11 @@ Optimizer::Result Optimizer::run() {
         {"model_filtered", obs::JsonValue(tally_.model_filtered)},
         {"early_terminated", obs::JsonValue(tally_.early_terminated)},
         {"infeasible", obs::JsonValue(tally_.infeasible)},
+        {"failed", obs::JsonValue(tally_.failed)},
+        {"retries", obs::JsonValue(tally_.retries)},
+        {"fallbacks", obs::JsonValue(tally_.fallbacks)},
         {"measured_violations", obs::JsonValue(tally_.measured_violations)},
+        {"aborted", obs::JsonValue(result.aborted)},
         {"clock_s", obs::JsonValue(objective_.clock().now_s())},
     };
     if (result.best) {
@@ -225,16 +331,81 @@ Optimizer::Result Optimizer::run() {
     }
     log.info("optimizer.done", std::move(fields));
   }
+  journal_ = EvalJournal{};  // close the file
   return result;
 }
 
-Optimizer::Result Optimizer::run_sequential() {
-  stats::Rng rng(options_.seed);
-  Result result;
+void Optimizer::replay_one(const EvaluationRecord& record, LoopState& state) {
+  if (record.index != state.result.trace.size()) {
+    throw std::runtime_error(
+        "resume: journal records are not a contiguous prefix (record index " +
+        std::to_string(record.index) + " at position " +
+        std::to_string(state.result.trace.size()) + ")");
+  }
   Clock& clock = objective_.clock();
-  std::size_t function_evaluations = 0;
+  const double delta = record.timestamp_s - clock.now_s();
+  if (delta > 0.0) clock.advance(delta);
+  if (record.status == EvaluationStatus::Completed ||
+      record.status == EvaluationStatus::EarlyTerminated) {
+    ++state.function_evaluations;
+  }
+  if (record.counts_for_best() &&
+      (!incumbent_ || record.test_error < incumbent_->test_error)) {
+    incumbent_ = record;
+  }
+  tally_record(record);
+  observe(record);
+  state.result.trace.add(record);
+}
 
-  for (std::size_t sample = 0; sample < options_.max_samples; ++sample) {
+void Optimizer::replay_records(const std::vector<EvaluationRecord>& kept,
+                               LoopState& state) {
+  const auto mismatch = [](std::size_t index) {
+    throw std::runtime_error(
+        "resume: replayed proposal diverges from the journal at sample " +
+        std::to_string(index) +
+        " (journal written with different seed/method/options?)");
+  };
+  if (options_.batch_size == 1) {
+    // The sequential loop consumes one propose() per record from a single
+    // shared stream; re-proposing (and discarding) advances the stream and
+    // any method-internal proposal state exactly as the original run did.
+    for (const EvaluationRecord& record : kept) {
+      if (propose(state.rng) != record.config) mismatch(record.index);
+      replay_one(record, state);
+    }
+    return;
+  }
+  std::size_t base = 0;
+  while (base < kept.size()) {
+    const std::size_t count =
+        std::min(options_.batch_size, kept.size() - base);
+    if (!supports_parallel_proposals()) {
+      // Constant-liar proposals mutate sequential method state; re-running
+      // them keeps that state aligned with the original run.
+      const std::vector<Configuration> proposals = propose_batch(base, count);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (proposals[j] != kept[base + j].config) mismatch(base + j);
+      }
+    }
+    // Parallel proposals only *read* shared state (per-sample streams),
+    // so they need no replay; finalize order is all that matters.
+    for (std::size_t j = 0; j < count; ++j) {
+      replay_one(kept[base + j], state);
+    }
+    base += count;
+  }
+}
+
+Optimizer::Result Optimizer::run_sequential(LoopState state,
+                                            ResilientEvaluator& evaluator) {
+  stats::Rng rng = state.rng;
+  Result result = std::move(state.result);
+  Clock& clock = objective_.clock();
+  std::size_t function_evaluations = state.function_evaluations;
+
+  for (std::size_t sample = result.trace.size();
+       sample < options_.max_samples; ++sample) {
     if (function_evaluations >= options_.max_function_evaluations) break;
     if (clock.now_s() >= options_.max_runtime_s) break;
 
@@ -266,22 +437,28 @@ Optimizer::Result Optimizer::run_sequential() {
       const EarlyTerminationRule* rule =
           options_.use_early_termination ? &options_.early_termination
                                          : nullptr;
-      record = objective_.evaluate(config, rule);
+      ResilientOutcome outcome =
+          evaluator.evaluate(config, rule, sample, /*detached=*/false);
+      record = std::move(outcome.record);
       record.config = std::move(config);
     }
 
     finalize_record(record, result.trace, function_evaluations);
+    if (check_abort(result)) break;
   }
 
   result.best = incumbent_;
   return result;
 }
 
-Optimizer::Result Optimizer::run_batched() {
-  Result result;
+Optimizer::Result Optimizer::run_batched(LoopState state,
+                                         ResilientEvaluator& evaluator) {
+  Result result = std::move(state.result);
   Clock& clock = objective_.clock();
-  std::size_t function_evaluations = 0;
-  std::size_t next_sample = 0;  // global sample counter = RNG stream index
+  std::size_t function_evaluations = state.function_evaluations;
+  // Global sample counter = RNG stream index; replayed records occupy
+  // [0, trace.size()).
+  std::size_t next_sample = result.trace.size();
 
   // num_threads counts the threads doing work; the calling thread
   // participates in every round, so K threads = K-1 pool workers.
@@ -296,8 +473,9 @@ Optimizer::Result Optimizer::run_batched() {
   while (!stopped && next_sample < options_.max_samples) {
     if (function_evaluations >= options_.max_function_evaluations) break;
     if (clock.now_s() >= options_.max_runtime_s) break;
+    const std::size_t round_base = next_sample;
     const std::size_t count =
-        std::min(options_.batch_size, options_.max_samples - next_sample);
+        std::min(options_.batch_size, options_.max_samples - round_base);
 
     if (obs::metrics().enabled()) OptMetrics::get().rounds.add(1);
 
@@ -307,7 +485,7 @@ Optimizer::Result Optimizer::run_batched() {
     std::vector<Configuration> proposals;
     if (!supports_parallel_proposals()) {
       obs::ScopedTimer timer("optimize.propose", &OptMetrics::get().propose_s);
-      proposals = propose_batch(next_sample, count);
+      proposals = propose_batch(round_base, count);
     }
 
     // Phase 2 — generate + filter + evaluate the round concurrently. Each
@@ -322,7 +500,7 @@ Optimizer::Result Optimizer::run_batched() {
     obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
                                     &OptMetrics::get().round_evaluate_s);
     pool.parallel_for(count, [&](std::size_t j) {
-      stats::Rng rng = sample_rng(next_sample + j);
+      stats::Rng rng = sample_rng(round_base + j);
       Configuration config =
           proposals.empty() ? propose(rng) : std::move(proposals[j]);
       Slot& slot = slots[j];
@@ -336,7 +514,10 @@ Optimizer::Result Optimizer::run_batched() {
         return;
       }
       if (concurrent_eval) {
-        slot.record = objective_.evaluate_detached(config, rule);
+        ResilientOutcome outcome =
+            evaluator.evaluate(config, rule, round_base + j,
+                               /*detached=*/true);
+        slot.record = std::move(outcome.record);
         slot.record.config = std::move(config);
       } else {
         // Objective without a detached path (e.g. one driving real
@@ -364,12 +545,19 @@ Optimizer::Result Optimizer::run_batched() {
       EvaluationRecord record = std::move(slots[j].record);
       if (slots[j].deferred_evaluation) {
         Configuration config = std::move(record.config);
-        record = objective_.evaluate(config, rule);
+        ResilientOutcome outcome =
+            evaluator.evaluate(config, rule, round_base + j,
+                               /*detached=*/false);
+        record = std::move(outcome.record);
         record.config = std::move(config);
       } else {
         clock.advance(record.cost_s);
       }
       finalize_record(record, result.trace, function_evaluations);
+      if (check_abort(result)) {
+        stopped = true;
+        break;
+      }
     }
     merge_timer.stop();
   }

@@ -13,8 +13,10 @@
 
 #include "core/acquisition.hpp"
 #include "core/objective.hpp"
+#include "core/resilience.hpp"
 #include "core/run_trace.hpp"
 #include "core/search_space.hpp"
+#include "core/trace_io.hpp"
 #include "stats/rng.hpp"
 
 namespace hp::core {
@@ -63,6 +65,16 @@ struct OptimizerOptions {
   /// Worker threads evaluating a round (used only when batch_size > 1;
   /// 1 = evaluate the round on the calling thread).
   std::size_t num_threads = 1;
+
+  /// Resilience: retry/timeout/backoff applied to every evaluation
+  /// (core/resilience.hpp). With the defaults, an objective exception is
+  /// retried up to twice and then recorded as a Failed sample instead of
+  /// aborting the run.
+  RetryPolicy retry{};
+  /// Path of the crash-safe evaluation journal; "" disables journaling.
+  /// Written (fsync'd) as each record completes, so a killed run can
+  /// continue via Optimizer::resume with a bit-identical trace.
+  std::string journal_path;
 };
 
 /// Abstract sequential optimizer.
@@ -87,10 +99,25 @@ class Optimizer {
   struct Result {
     RunTrace trace;
     std::optional<EvaluationRecord> best;
+    /// True when the run stopped early because
+    /// retry.max_consecutive_failed_samples candidates in a row failed —
+    /// the environment is persistently broken, not one candidate.
+    bool aborted = false;
+    std::string abort_reason;
   };
 
   /// Executes the full optimization loop.
   [[nodiscard]] Result run();
+
+  /// Continues a crashed run: replays @p completed records (journal order)
+  /// as if they had just been evaluated — restoring the clock, RNG streams,
+  /// incumbent, and surrogate state — then resumes the loop, so the final
+  /// trace is bit-identical to an uninterrupted run with the same options.
+  /// In batched mode a trailing partial round is discarded and
+  /// re-evaluated (evaluations are index-pure, so the records come out
+  /// identical). Throws std::runtime_error when the records do not match
+  /// this run's configuration (wrong seed/method/space).
+  [[nodiscard]] Result resume(const std::vector<EvaluationRecord>& completed);
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -146,13 +173,37 @@ class Optimizer {
   }
 
  private:
-  [[nodiscard]] Result run_sequential();
-  [[nodiscard]] Result run_batched();
+  /// Mutable loop state threaded from the replay phase into the live loop.
+  struct LoopState {
+    Result result;
+    /// The sequential-mode proposal stream (batched mode derives
+    /// per-sample streams instead and ignores it).
+    stats::Rng rng{1};
+    std::size_t function_evaluations = 0;
+  };
+
+  /// Shared body of run()/resume(): replay (if any), then the live loop.
+  [[nodiscard]] Result run_impl(const std::vector<EvaluationRecord>* replay);
+  [[nodiscard]] Result run_sequential(LoopState state,
+                                      ResilientEvaluator& evaluator);
+  [[nodiscard]] Result run_batched(LoopState state,
+                                   ResilientEvaluator& evaluator);
+  /// Re-applies already-evaluated records: advances the proposal streams /
+  /// method state exactly as the original run did, restores the clock and
+  /// incumbent, and appends to the trace — without invoking the objective.
+  void replay_records(const std::vector<EvaluationRecord>& kept,
+                      LoopState& state);
+  /// Replay tail of one record (clock, counters, incumbent, observe, add).
+  void replay_one(const EvaluationRecord& record, LoopState& state);
   /// Classifies a trained record against the measured budgets and updates
   /// the evaluation counter/incumbent — the tail every sample goes through
-  /// in both loops.
+  /// in both loops. Also journals the record and tracks the
+  /// consecutive-failure abort counter.
   void finalize_record(EvaluationRecord& record, RunTrace& trace,
                        std::size_t& function_evaluations);
+  /// True when the consecutive-failure budget is exhausted; stamps
+  /// @p result and logs the abort.
+  [[nodiscard]] bool check_abort(Result& result);
 
   /// Running per-status totals of the current run, kept so the per-sample
   /// observability events are O(1) (RunTrace recomputes its counters by
@@ -162,8 +213,14 @@ class Optimizer {
     std::size_t model_filtered = 0;
     std::size_t early_terminated = 0;
     std::size_t infeasible = 0;
+    std::size_t failed = 0;
     std::size_t measured_violations = 0;
+    std::size_t retries = 0;
+    std::size_t fallbacks = 0;
   };
+  /// Counter part of observe_record, shared with the replay path (which
+  /// skips the per-sample events but must keep the tallies right).
+  void tally_record(const EvaluationRecord& record);
   /// Observability tail of finalize_record: counters + "optimizer.sample"
   /// / "optimizer.progress" events.
   void observe_record(const EvaluationRecord& record, const RunTrace& trace,
@@ -176,6 +233,8 @@ class Optimizer {
   OptimizerOptions options_;
   std::optional<EvaluationRecord> incumbent_;
   RunTally tally_;
+  EvalJournal journal_;
+  std::size_t consecutive_failures_ = 0;
 };
 
 }  // namespace hp::core

@@ -1,0 +1,254 @@
+#include "core/resilience.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "hw/sensor.hpp"
+#include "obs/log.hpp"
+
+namespace hp::core {
+namespace {
+
+/// Salt separating the backoff-jitter streams from every other consumer of
+/// the run seed (proposal rng, sensor streams, fault schedules).
+constexpr std::uint64_t kBackoffSalt = 0x9e3779b97f4a7c15ULL;
+
+thread_local std::size_t tls_current_attempt = 0;
+
+/// RAII setter for current_attempt(); restores 0 on scope exit so code
+/// outside a resilient evaluation never sees a stale attempt index.
+class AttemptScope {
+ public:
+  explicit AttemptScope(std::size_t attempt) { tls_current_attempt = attempt; }
+  ~AttemptScope() { tls_current_attempt = 0; }
+  AttemptScope(const AttemptScope&) = delete;
+  AttemptScope& operator=(const AttemptScope&) = delete;
+};
+
+/// Virtual seconds the failed attempt consumed (only EvalFailure knows).
+[[nodiscard]] double failure_cost_s(const std::exception& e) noexcept {
+  if (const auto* failure = dynamic_cast<const EvalFailure*>(&e)) {
+    return failure->cost_s();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FailureKind classify_failure(const std::exception& e) noexcept {
+  if (const auto* failure = dynamic_cast<const EvalFailure*>(&e)) {
+    return failure->kind();
+  }
+  if (dynamic_cast<const hw::SensorError*>(&e) != nullptr) {
+    return FailureKind::Transient;
+  }
+  return FailureKind::Persistent;
+}
+
+double RetryPolicy::backoff_s(std::size_t retry_index, stats::Rng& rng) const {
+  if (retry_index == 0) {
+    throw std::invalid_argument("RetryPolicy::backoff_s: retry_index is 1-based");
+  }
+  if (backoff_initial_s < 0.0) {
+    throw std::invalid_argument(
+        "RetryPolicy::backoff_s: backoff_initial_s must be >= 0");
+  }
+  if (backoff_multiplier <= 0.0) {
+    throw std::invalid_argument(
+        "RetryPolicy::backoff_s: backoff_multiplier must be > 0");
+  }
+  if (backoff_jitter < 0.0 || backoff_jitter >= 1.0) {
+    throw std::invalid_argument(
+        "RetryPolicy::backoff_s: backoff_jitter must be in [0, 1)");
+  }
+  const double base =
+      backoff_initial_s *
+      std::pow(backoff_multiplier, static_cast<double>(retry_index - 1));
+  const double factor = 1.0 + backoff_jitter * (2.0 * rng.uniform() - 1.0);
+  return base * factor;
+}
+
+std::size_t current_attempt() noexcept { return tls_current_attempt; }
+
+struct DeadlineRunner::Zombie {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+DeadlineRunner::DeadlineRunner() = default;
+
+DeadlineRunner::~DeadlineRunner() {
+  // Block until every abandoned attempt actually returned; joining without
+  // this would terminate(). Simulated hangs are short sleeps, so this is a
+  // bounded wait in practice.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& zombie : zombies_) {
+    if (zombie->thread.joinable()) zombie->thread.join();
+  }
+  zombies_.clear();
+}
+
+void DeadlineRunner::reap_finished_locked() {
+  auto it = zombies_.begin();
+  while (it != zombies_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = zombies_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t DeadlineRunner::zombie_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reap_finished_locked();
+  return zombies_.size();
+}
+
+bool DeadlineRunner::run(const std::function<EvaluationRecord()>& attempt,
+                         double deadline_s, EvaluationRecord* out) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reap_finished_locked();
+  }
+  auto zombie = std::make_unique<Zombie>();
+  auto promise = std::make_shared<std::promise<EvaluationRecord>>();
+  auto future = promise->get_future();
+  Zombie* raw = zombie.get();
+  // The Zombie's address is stable (heap-allocated): it is either joined
+  // below before `zombie` dies, or moved into zombies_ which outlives the
+  // thread.
+  zombie->thread = std::thread([attempt, promise, raw]() {
+    try {
+      promise->set_value(attempt());
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+    raw->done.store(true, std::memory_order_release);
+  });
+  if (future.wait_for(std::chrono::duration<double>(deadline_s)) ==
+      std::future_status::ready) {
+    zombie->thread.join();
+    *out = future.get();  // rethrows the attempt's exception, if any
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  zombies_.push_back(std::move(zombie));
+  return false;
+}
+
+ResilientEvaluator::ResilientEvaluator(Objective& objective, RetryPolicy policy,
+                                       std::uint64_t run_seed)
+    : objective_(objective),
+      policy_(policy),
+      run_seed_(run_seed),
+      deadline_armed_(std::isfinite(policy.eval_timeout_s) &&
+                      objective.supports_concurrent_evaluation()) {
+  if (std::isfinite(policy_.eval_timeout_s) && policy_.eval_timeout_s <= 0.0) {
+    throw std::invalid_argument(
+        "ResilientEvaluator: eval_timeout_s must be positive");
+  }
+  if (std::isfinite(policy_.eval_timeout_s) && !deadline_armed_) {
+    obs::logger().warn(
+        "eval.deadline_unsupported",
+        {{"reason",
+          obs::JsonValue("objective does not support concurrent evaluation; "
+                         "wall-clock deadline disabled")}});
+  }
+}
+
+EvaluationRecord ResilientEvaluator::attempt(const Configuration& config,
+                                             const EarlyTerminationRule* rule,
+                                             std::size_t attempt_index,
+                                             bool detached) {
+  if (!deadline_armed_) {
+    AttemptScope scope(attempt_index);
+    return detached ? objective_.evaluate_detached(config, rule)
+                    : objective_.evaluate(config, rule);
+  }
+  // Deadline enforcement always uses the detached path, even for a
+  // sequential caller: a timed-out attempt keeps running on its zombie
+  // thread, and evaluate() would keep mutating the shared clock underneath
+  // the run. For the same reason the closure must own copies of everything
+  // it touches — a zombie outlives this stack frame.
+  auto body = [this, config, rule, attempt_index]() -> EvaluationRecord {
+    AttemptScope scope(attempt_index);
+    return objective_.evaluate_detached(config, rule);
+  };
+  EvaluationRecord record;
+  if (!deadline_runner_.run(body, policy_.eval_timeout_s, &record)) {
+    throw EvalFailure(FailureKind::Timeout,
+                      "evaluation exceeded wall-clock deadline");
+  }
+  return record;
+}
+
+ResilientOutcome ResilientEvaluator::evaluate(const Configuration& config,
+                                              const EarlyTerminationRule* rule,
+                                              std::size_t sample_index,
+                                              bool detached) {
+  const std::size_t max_attempts = policy_.max_attempts > 0
+                                       ? policy_.max_attempts
+                                       : static_cast<std::size_t>(1);
+  stats::Rng jitter_rng(
+      stats::stream_seed(run_seed_ ^ kBackoffSalt, sample_index));
+  auto& log = obs::logger();
+
+  double extra_cost_s = 0.0;  // failed attempts + backoff, in virtual seconds
+  FailureKind last_kind = FailureKind::Persistent;
+  for (std::size_t attempt_index = 1;; ++attempt_index) {
+    try {
+      EvaluationRecord record = attempt(config, rule, attempt_index, detached);
+      record.attempts = attempt_index;
+      if (!detached && deadline_armed_) {
+        // Failed attempts and backoff were charged to the clock as they
+        // happened (catch block below); under an armed deadline the
+        // successful attempt itself ran through the detached path, so its
+        // own cost is still unpaid. Without a deadline, evaluate() already
+        // advanced the clock itself and nothing more is owed.
+        objective_.clock().advance(record.cost_s);
+      }
+      record.cost_s += extra_cost_s;
+      ResilientOutcome outcome;
+      outcome.record = std::move(record);
+      outcome.retries = attempt_index - 1;
+      return outcome;
+    } catch (const std::exception& e) {
+      last_kind = classify_failure(e);
+      const double attempt_cost = failure_cost_s(e);
+      extra_cost_s += attempt_cost;
+      if (!detached) objective_.clock().advance(attempt_cost);
+      const bool retry =
+          policy_.retryable(last_kind) && attempt_index < max_attempts;
+      if (log.enabled(obs::LogLevel::kWarn)) {
+        log.warn(retry ? "eval.retry" : "eval.failed",
+                 {{"sample", obs::JsonValue(sample_index)},
+                  {"attempt", obs::JsonValue(attempt_index)},
+                  {"kind", obs::JsonValue(to_string(last_kind))},
+                  {"error", obs::JsonValue(e.what())}});
+      }
+      if (!retry) {
+        ResilientOutcome outcome;
+        outcome.record.config = config;
+        outcome.record.status = EvaluationStatus::Failed;
+        outcome.record.test_error = 1.0;
+        outcome.record.cost_s = extra_cost_s;
+        outcome.record.attempts = attempt_index;
+        outcome.record.failure_kind = last_kind;
+        outcome.retries = attempt_index - 1;
+        outcome.failed = true;
+        return outcome;
+      }
+      const double backoff = policy_.backoff_s(attempt_index, jitter_rng);
+      extra_cost_s += backoff;
+      if (!detached) objective_.clock().advance(backoff);
+    }
+  }
+}
+
+}  // namespace hp::core

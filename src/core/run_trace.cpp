@@ -48,6 +48,28 @@ std::size_t RunTrace::measured_violation_count() const noexcept {
       }));
 }
 
+std::size_t RunTrace::failed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const auto& r) {
+        return r.status == EvaluationStatus::Failed;
+      }));
+}
+
+std::size_t RunTrace::fallback_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const auto& r) {
+        return !r.measured && (r.measured_power_w || r.measured_memory_mb);
+      }));
+}
+
+std::size_t RunTrace::total_retries() const noexcept {
+  std::size_t retries = 0;
+  for (const EvaluationRecord& r : records_) {
+    retries += r.attempts > 0 ? r.attempts - 1 : 0;
+  }
+  return retries;
+}
+
 std::optional<EvaluationRecord> RunTrace::best() const {
   std::optional<EvaluationRecord> best;
   for (const EvaluationRecord& r : records_) {
@@ -112,14 +134,17 @@ double RunTrace::total_time_s() const noexcept {
 
 void RunTrace::write_csv(std::ostream& os) const {
   os << "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
-        "violates,cost_s\n";
+        "violates,cost_s,measured,attempts,failure\n";
   for (const EvaluationRecord& r : records_) {
     os << r.index << ',' << r.timestamp_s << ',' << to_string(r.status) << ','
        << r.test_error << ',' << (r.diverged ? 1 : 0) << ',';
     if (r.measured_power_w) os << *r.measured_power_w;
     os << ',';
     if (r.measured_memory_mb) os << *r.measured_memory_mb;
-    os << ',' << (r.violates_constraints ? 1 : 0) << ',' << r.cost_s << '\n';
+    os << ',' << (r.violates_constraints ? 1 : 0) << ',' << r.cost_s << ','
+       << (r.measured ? 1 : 0) << ',' << r.attempts << ',';
+    if (r.failure_kind) os << to_string(*r.failure_kind);
+    os << '\n';
   }
 }
 

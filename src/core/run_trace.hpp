@@ -34,6 +34,14 @@ class RunTrace {
   /// Samples whose *measured* metrics violate the budgets (the
   /// constraint-violating evaluations of Figure 4 center).
   [[nodiscard]] std::size_t measured_violation_count() const noexcept;
+  /// Samples whose every evaluation attempt failed (recorded and skipped
+  /// by the resilience layer).
+  [[nodiscard]] std::size_t failed_count() const noexcept;
+  /// Samples whose power/memory came from the predictive fallback models
+  /// after live sensor reads failed (measured == false with metrics).
+  [[nodiscard]] std::size_t fallback_count() const noexcept;
+  /// Evaluation attempts beyond each sample's first (total retries).
+  [[nodiscard]] std::size_t total_retries() const noexcept;
 
   /// The best feasible completed record, if any.
   [[nodiscard]] std::optional<EvaluationRecord> best() const;

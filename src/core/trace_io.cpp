@@ -1,9 +1,14 @@
 #include "core/trace_io.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/log.hpp"
 
 namespace hp::core {
 
@@ -11,6 +16,10 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("trace csv: " + what);
+}
+
+[[noreturn]] void fail_journal(const std::string& what) {
+  throw std::runtime_error("journal: " + what);
 }
 
 std::vector<std::string> split_csv_row(const std::string& line) {
@@ -35,6 +44,7 @@ EvaluationStatus status_from_string(const std::string& name) {
   if (name == "infeasible_architecture") {
     return EvaluationStatus::InfeasibleArchitecture;
   }
+  if (name == "failed") return EvaluationStatus::Failed;
   fail("unknown status '" + name + "'");
 }
 
@@ -49,41 +59,97 @@ double parse_number(const std::string& text, const char* what) {
   }
 }
 
+constexpr const char* kHeaderV1 =
+    "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
+    "violates,cost_s";
+constexpr const char* kHeaderV2 =
+    "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
+    "violates,cost_s,measured,attempts,failure";
+
+/// Parses one data row of either trace-CSV version. Throws via fail() on
+/// any malformed field.
+EvaluationRecord parse_trace_row(const std::string& line, std::size_t row,
+                                 bool v2) {
+  const auto fields = split_csv_row(line);
+  const std::size_t expected = v2 ? 12 : 9;
+  if (fields.size() != expected) {
+    fail("row " + std::to_string(row) + ": expected " +
+         std::to_string(expected) + " fields, got " +
+         std::to_string(fields.size()));
+  }
+  EvaluationRecord r;
+  r.index = static_cast<std::size_t>(parse_number(fields[0], "index"));
+  r.timestamp_s = parse_number(fields[1], "timestamp");
+  r.status = status_from_string(fields[2]);
+  r.test_error = parse_number(fields[3], "test_error");
+  r.diverged = parse_number(fields[4], "diverged") != 0.0;
+  if (!fields[5].empty()) {
+    r.measured_power_w = parse_number(fields[5], "power");
+  }
+  if (!fields[6].empty()) {
+    r.measured_memory_mb = parse_number(fields[6], "memory");
+  }
+  r.violates_constraints = parse_number(fields[7], "violates") != 0.0;
+  r.cost_s = parse_number(fields[8], "cost");
+  if (v2) {
+    r.measured = parse_number(fields[9], "measured") != 0.0;
+    r.attempts = static_cast<std::size_t>(parse_number(fields[10], "attempts"));
+    if (!fields[11].empty()) {
+      const auto kind = failure_kind_from_string(fields[11]);
+      if (!kind) fail("unknown failure kind '" + fields[11] + "'");
+      r.failure_kind = kind;
+    }
+  }
+  return r;
+}
+
+/// Round-trip exact double formatting ("%.17g"): parsing the text with
+/// std::stod recovers the identical bit pattern, which is what makes a
+/// journal resume bit-identical to the uninterrupted run.
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
 }  // namespace
 
 RunTrace load_trace_csv(std::istream& is) {
   std::string line;
   if (!std::getline(is, line)) fail("empty stream");
-  const std::string expected_header =
-      "index,timestamp_s,status,test_error,diverged,power_w,memory_mb,"
-      "violates,cost_s";
-  if (line != expected_header) fail("unexpected header '" + line + "'");
+  bool v2 = false;
+  if (line == kHeaderV2) {
+    v2 = true;
+  } else if (line != kHeaderV1) {
+    fail("unexpected header '" + line + "'");
+  }
 
-  RunTrace trace;
+  // Read every line up front so a malformed row can be told apart from a
+  // torn final one (crash mid-write): only the last non-empty line may be
+  // dropped, anything earlier is real corruption.
+  std::vector<std::pair<std::size_t, std::string>> rows;
   std::size_t row = 1;
   while (std::getline(is, line)) {
     ++row;
     if (line.empty()) continue;
-    const auto fields = split_csv_row(line);
-    if (fields.size() != 9) {
-      fail("row " + std::to_string(row) + ": expected 9 fields, got " +
-           std::to_string(fields.size()));
+    rows.emplace_back(row, line);
+  }
+
+  RunTrace trace;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    try {
+      trace.add(parse_trace_row(rows[i].second, rows[i].first, v2));
+    } catch (const std::runtime_error& e) {
+      // Only a malformed FINAL row of an otherwise-valid file reads as a
+      // torn tail; mid-file corruption — or a file whose only row is
+      // garbage — stays fatal.
+      if (i + 1 != rows.size() || trace.size() == 0) throw;
+      obs::logger().warn(
+          "trace.truncated_row",
+          {{"row", obs::JsonValue(rows[i].first)},
+           {"error", obs::JsonValue(e.what())},
+           {"recovered_records", obs::JsonValue(trace.size())}});
     }
-    EvaluationRecord r;
-    r.index = static_cast<std::size_t>(parse_number(fields[0], "index"));
-    r.timestamp_s = parse_number(fields[1], "timestamp");
-    r.status = status_from_string(fields[2]);
-    r.test_error = parse_number(fields[3], "test_error");
-    r.diverged = parse_number(fields[4], "diverged") != 0.0;
-    if (!fields[5].empty()) {
-      r.measured_power_w = parse_number(fields[5], "power");
-    }
-    if (!fields[6].empty()) {
-      r.measured_memory_mb = parse_number(fields[6], "memory");
-    }
-    r.violates_constraints = parse_number(fields[7], "violates") != 0.0;
-    r.cost_s = parse_number(fields[8], "cost");
-    trace.add(std::move(r));
   }
   return trace;
 }
@@ -99,6 +165,186 @@ RunTrace load_trace_csv_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) fail("cannot open '" + path + "' for reading");
   return load_trace_csv(is);
+}
+
+void EvalJournal::FileCloser::operator()(std::FILE* f) const noexcept {
+  if (f != nullptr) std::fclose(f);
+}
+
+namespace {
+
+constexpr const char* kJournalMagic = "hpjournal";
+constexpr const char* kJournalVersion = "v1";
+
+std::string journal_header_line(const JournalHeader& header) {
+  std::ostringstream os;
+  os << kJournalMagic << ',' << kJournalVersion << ',' << header.method << ','
+     << header.seed << ',' << header.batch_size;
+  return os.str();
+}
+
+std::string journal_record_line(const EvaluationRecord& r) {
+  std::ostringstream os;
+  os << "r," << r.index << ',' << format_double(r.timestamp_s) << ','
+     << to_string(r.status) << ',' << format_double(r.test_error) << ','
+     << (r.diverged ? 1 : 0) << ',';
+  if (r.measured_power_w) {
+    os << format_double(*r.measured_power_w);
+  } else {
+    os << '-';
+  }
+  os << ',';
+  if (r.measured_memory_mb) {
+    os << format_double(*r.measured_memory_mb);
+  } else {
+    os << '-';
+  }
+  os << ',' << (r.violates_constraints ? 1 : 0) << ','
+     << format_double(r.cost_s) << ',' << (r.measured ? 1 : 0) << ','
+     << r.attempts << ',';
+  if (r.failure_kind) {
+    os << to_string(*r.failure_kind);
+  } else {
+    os << '-';
+  }
+  os << ',' << r.config.size();
+  for (const double v : r.config) os << ',' << format_double(v);
+  return os.str();
+}
+
+/// Parses one "r,..." journal line; throws via fail_journal on corruption.
+EvaluationRecord parse_journal_record(const std::string& line,
+                                      std::size_t line_number) {
+  const auto fields = split_csv_row(line);
+  const auto bad = [line_number](const std::string& what) {
+    fail_journal("line " + std::to_string(line_number) + ": " + what);
+  };
+  if (fields.size() < 14 || fields[0] != "r") bad("malformed record frame");
+  EvaluationRecord r;
+  try {
+    r.index = static_cast<std::size_t>(parse_number(fields[1], "index"));
+    r.timestamp_s = parse_number(fields[2], "timestamp");
+    r.status = status_from_string(fields[3]);
+    r.test_error = parse_number(fields[4], "test_error");
+    r.diverged = parse_number(fields[5], "diverged") != 0.0;
+    if (fields[6] != "-") r.measured_power_w = parse_number(fields[6], "power");
+    if (fields[7] != "-") {
+      r.measured_memory_mb = parse_number(fields[7], "memory");
+    }
+    r.violates_constraints = parse_number(fields[8], "violates") != 0.0;
+    r.cost_s = parse_number(fields[9], "cost");
+    r.measured = parse_number(fields[10], "measured") != 0.0;
+    r.attempts = static_cast<std::size_t>(parse_number(fields[11], "attempts"));
+    if (fields[12] != "-") {
+      const auto kind = failure_kind_from_string(fields[12]);
+      if (!kind) bad("unknown failure kind '" + fields[12] + "'");
+      r.failure_kind = kind;
+    }
+    const auto dim =
+        static_cast<std::size_t>(parse_number(fields[13], "config size"));
+    if (fields.size() != 14 + dim) bad("config field count mismatch");
+    r.config.reserve(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      r.config.push_back(parse_number(fields[14 + i], "config value"));
+    }
+  } catch (const std::runtime_error& e) {
+    // Re-frame trace-csv parse errors as journal errors so the caller can
+    // tell which artifact is corrupt.
+    bad(e.what());
+  }
+  return r;
+}
+
+[[nodiscard]] std::FILE* open_journal_for_write(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "we");
+  if (f == nullptr) {
+    fail_journal("cannot open '" + path + "' for writing");
+  }
+  return f;
+}
+
+void write_journal_line(std::FILE* f, const std::string& path,
+                        const std::string& line) {
+  if (std::fputs(line.c_str(), f) == EOF || std::fputc('\n', f) == EOF ||
+      std::fflush(f) != 0) {
+    fail_journal("write to '" + path + "' failed");
+  }
+  // fsync per line: the crash-safety contract is "every record whose
+  // append returned is recoverable", which buffered writes alone can't
+  // give. The journal is written once per *evaluation* (seconds to hours
+  // of work each), so the sync is never the bottleneck.
+  if (::fsync(fileno(f)) != 0) {
+    fail_journal("fsync of '" + path + "' failed");
+  }
+}
+
+}  // namespace
+
+EvalJournal EvalJournal::create(const std::string& path,
+                                const JournalHeader& header) {
+  EvalJournal journal;
+  journal.file_.reset(open_journal_for_write(path));
+  journal.path_ = path;
+  write_journal_line(journal.file_.get(), path, journal_header_line(header));
+  return journal;
+}
+
+EvalJournal EvalJournal::rewrite(const std::string& path,
+                                 const JournalHeader& header,
+                                 const std::vector<EvaluationRecord>& records) {
+  EvalJournal journal = create(path, header);
+  for (const EvaluationRecord& record : records) journal.append(record);
+  return journal;
+}
+
+JournalLoadResult EvalJournal::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail_journal("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(is, line)) fail_journal("empty file '" + path + "'");
+  const auto header_fields = split_csv_row(line);
+  if (header_fields.size() != 5 || header_fields[0] != kJournalMagic ||
+      header_fields[1] != kJournalVersion) {
+    fail_journal("bad header in '" + path + "'");
+  }
+  JournalLoadResult result;
+  result.header.method = header_fields[2];
+  try {
+    result.header.seed = std::stoull(header_fields[3]);
+    result.header.batch_size = std::stoul(header_fields[4]);
+  } catch (const std::logic_error&) {
+    fail_journal("bad header numbers in '" + path + "'");
+  }
+
+  std::vector<std::pair<std::size_t, std::string>> rows;
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    rows.emplace_back(line_number, line);
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    try {
+      result.records.push_back(
+          parse_journal_record(rows[i].second, rows[i].first));
+    } catch (const std::runtime_error& e) {
+      if (i + 1 != rows.size()) throw;  // mid-file corruption stays fatal
+      result.dropped_lines = 1;
+      obs::logger().warn(
+          "journal.torn_tail",
+          {{"path", obs::JsonValue(path)},
+           {"line", obs::JsonValue(rows[i].first)},
+           {"error", obs::JsonValue(e.what())},
+           {"recovered_records", obs::JsonValue(result.records.size())}});
+    }
+  }
+  return result;
+}
+
+void EvalJournal::append(const EvaluationRecord& record) {
+  if (!active()) return;
+  write_journal_line(file_.get(), path_, journal_record_line(record));
 }
 
 }  // namespace hp::core

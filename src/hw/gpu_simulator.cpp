@@ -29,7 +29,28 @@ void GpuSimulator::set_inference_active(bool active) {
   inference_active_ = active;
 }
 
+void GpuSimulator::set_sensor_faults(SensorFaultSpec spec) {
+  sensor_faults_ = spec;
+  fault_rng_ = stats::Rng(spec.seed);
+}
+
+void GpuSimulator::reseed_sensors(std::uint64_t noise_seed,
+                                  std::uint64_t fault_seed) {
+  rng_ = stats::Rng(noise_seed);
+  fault_rng_ = stats::Rng(fault_seed);
+}
+
+bool GpuSimulator::fault_fires() {
+  return sensor_faults_.enabled() &&
+         fault_rng_.bernoulli(sensor_faults_.failure_rate);
+}
+
 double GpuSimulator::read_power_w() {
+  // Fault check first, so a failed read consumes no noise draw: the fault
+  // schedule and the measurement noise stay independent streams.
+  if (fault_fires()) {
+    throw SensorError("GpuSimulator: simulated power-sensor read failure");
+  }
   const double base = (inference_active_ && cost_)
                           ? cost_->average_power_w
                           : cost_model_.device().idle_power_w;
@@ -44,6 +65,21 @@ std::optional<MemoryInfo> GpuSimulator::memory_info() const {
   info.total_mb = dev.dram_gb * 1024.0;
   info.used_mb = cost_ ? cost_->memory_mb : dev.runtime_overhead_mb * 0.25;
   return info;
+}
+
+GpuSimulator::MemoryReading GpuSimulator::read_memory() {
+  MemoryReading reading;
+  if (!cost_model_.device().supports_memory_query) {
+    reading.status = MemoryQueryStatus::NotSupported;
+    return reading;
+  }
+  if (sensor_faults_.fail_memory && fault_fires()) {
+    reading.status = MemoryQueryStatus::ReadError;
+    return reading;
+  }
+  reading.status = MemoryQueryStatus::Ok;
+  reading.info = *memory_info();
+  return reading;
 }
 
 double GpuSimulator::inference_latency_ms() const {

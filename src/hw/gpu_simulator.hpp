@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "hw/cost_model.hpp"
+#include "hw/sensor.hpp"
 #include "stats/rng.hpp"
 
 namespace hp::hw {
@@ -42,11 +43,46 @@ class GpuSimulator {
 
   /// One noisy instantaneous power reading, in watts. Per-reading
   /// multiplicative Gaussian noise models sensor quantization/ripple.
+  /// Throws SensorError on an injected fault (see set_sensor_faults).
   [[nodiscard]] double read_power_w();
 
   /// Memory counters; std::nullopt when the platform exposes none
-  /// (Tegra TX1, Jetson Nano — paper footnote 1).
+  /// (Tegra TX1, Jetson Nano — paper footnote 1). Ground-truth access:
+  /// never subject to injected faults — use read_memory() for the
+  /// fault-aware sensor path.
   [[nodiscard]] std::optional<MemoryInfo> memory_info() const;
+
+  /// How a memory-counter query ended. Distinguishes "the platform has no
+  /// counter" (Tegra) from "the counter exists but the read failed" — two
+  /// conditions memory_info() used to conflate into one nullopt sentinel.
+  enum class MemoryQueryStatus {
+    Ok,
+    NotSupported,  // platform exposes no counter (permanent)
+    ReadError,     // counter exists, this read failed (transient)
+  };
+  struct MemoryReading {
+    MemoryQueryStatus status = MemoryQueryStatus::Ok;
+    MemoryInfo info;  ///< valid only when status == Ok
+  };
+  /// Fault-aware memory query (the sensor path the NVML facade reads).
+  /// Non-const: a query consumes one draw of the fault stream when
+  /// memory faults are armed.
+  [[nodiscard]] MemoryReading read_memory();
+
+  /// Arms the deterministic injected-fault schedule (hw/sensor.hpp).
+  /// Fault draws come from their own stream seeded by spec.seed, so
+  /// arming faults does not perturb the values of successful readings'
+  /// noise stream.
+  void set_sensor_faults(SensorFaultSpec spec);
+
+  /// Rewinds both sensor streams (noise and faults) to fixed seeds.
+  /// Callers that need replay-pure measurements (the testbed objective's
+  /// crash-safe journal replay) reseed per network, making every reading a
+  /// pure function of (seed, spec) instead of global read order.
+  void reseed_sensors(std::uint64_t noise_seed, std::uint64_t fault_seed);
+  [[nodiscard]] const SensorFaultSpec& sensor_faults() const noexcept {
+    return sensor_faults_;
+  }
 
   /// Latency of one inference batch under the current model, ms.
   /// Throws std::logic_error if no model is loaded.
@@ -71,10 +107,15 @@ class GpuSimulator {
   static constexpr double kPowerReadingNoiseSd = 0.012;
 
  private:
+  /// True when the armed fault schedule fails this read (consumes a draw).
+  [[nodiscard]] bool fault_fires();
+
   CostModel cost_model_;
   stats::Rng rng_;
   std::optional<InferenceCost> cost_;
   bool inference_active_ = false;
+  SensorFaultSpec sensor_faults_{};
+  stats::Rng fault_rng_{99};
 };
 
 }  // namespace hp::hw

@@ -16,6 +16,8 @@ std::string error_string(Return r) {
       return "Not Supported";
     case Return::ErrorNotFound:
       return "Not Found";
+    case Return::ErrorUnknown:
+      return "Unknown Error";
   }
   return "Unknown Error";
 }
@@ -62,8 +64,14 @@ Return Session::device_get_power_usage(std::size_t handle,
                                        unsigned* milliwatts) {
   if (const Return r = check_handle(handle); r != Return::Success) return r;
   if (milliwatts == nullptr) return Return::ErrorInvalidArgument;
-  const double watts = devices_[handle]->read_power_w();
-  *milliwatts = static_cast<unsigned>(std::lround(watts * 1000.0));
+  try {
+    const double watts = devices_[handle]->read_power_w();
+    *milliwatts = static_cast<unsigned>(std::lround(watts * 1000.0));
+  } catch (const SensorError&) {
+    // Failed sensor read surfaces as NVML's catch-all transient code —
+    // typed C++ exceptions do not cross a C-style API boundary.
+    return Return::ErrorUnknown;
+  }
   return Return::Success;
 }
 
@@ -71,10 +79,19 @@ Return Session::device_get_memory_info(std::size_t handle,
                                        Memory* memory) const {
   if (const Return r = check_handle(handle); r != Return::Success) return r;
   if (memory == nullptr) return Return::ErrorInvalidArgument;
-  const auto info = devices_[handle]->memory_info();
-  if (!info) return Return::ErrorNotSupported;
-  memory->total = static_cast<std::uint64_t>(info->total_mb * 1024.0 * 1024.0);
-  memory->used = static_cast<std::uint64_t>(info->used_mb * 1024.0 * 1024.0);
+  const GpuSimulator::MemoryReading reading = devices_[handle]->read_memory();
+  switch (reading.status) {
+    case GpuSimulator::MemoryQueryStatus::NotSupported:
+      return Return::ErrorNotSupported;
+    case GpuSimulator::MemoryQueryStatus::ReadError:
+      return Return::ErrorUnknown;
+    case GpuSimulator::MemoryQueryStatus::Ok:
+      break;
+  }
+  memory->total =
+      static_cast<std::uint64_t>(reading.info.total_mb * 1024.0 * 1024.0);
+  memory->used =
+      static_cast<std::uint64_t>(reading.info.used_mb * 1024.0 * 1024.0);
   memory->free = memory->total - memory->used;
   return Return::Success;
 }

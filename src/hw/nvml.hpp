@@ -22,6 +22,10 @@ enum class Return {
   ErrorInvalidArgument,
   ErrorNotSupported,
   ErrorNotFound,
+  /// A sensor read failed (driver hiccup / injected fault) — real NVML's
+  /// NVML_ERROR_UNKNOWN. Transient: the caller may retry, unlike
+  /// ErrorNotSupported which is a permanent platform property.
+  ErrorUnknown,
 };
 
 /// Human-readable error string, like nvmlErrorString().
@@ -55,10 +59,13 @@ class Session {
   Return device_get_name(std::size_t handle, std::string* name) const;
 
   /// nvmlDeviceGetPowerUsage — power in *milliwatts*, as in real NVML.
+  /// ErrorUnknown when the sensor read fails (injected fault).
   Return device_get_power_usage(std::size_t handle, unsigned* milliwatts);
 
-  /// nvmlDeviceGetMemoryInfo — bytes; ErrorNotSupported on Tegra-class
-  /// platforms without a memory counter.
+  /// nvmlDeviceGetMemoryInfo — bytes. ErrorNotSupported on Tegra-class
+  /// platforms without a memory counter (permanent); ErrorUnknown when the
+  /// counter exists but this read failed (transient, retryable) — the two
+  /// are distinct conditions, not one sentinel.
   Return device_get_memory_info(std::size_t handle, Memory* memory) const;
 
  private:

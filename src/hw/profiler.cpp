@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "hw/sensor.hpp"
 #include "obs/obs.hpp"
 
 namespace hp::hw {
@@ -11,15 +12,20 @@ namespace {
 struct HwMetrics {
   obs::Counter& profiled_specs;
   obs::Counter& profile_failures;
+  obs::Counter& sensor_read_failures;
 
   static HwMetrics& get() {
     static HwMetrics m{
         obs::metrics().counter("hw.profiled_specs"),
         obs::metrics().counter("hw.profile_failures"),
+        obs::metrics().counter("hw.sensor_read_failures"),
     };
     return m;
   }
 };
+
+/// Memory-query retries before the sample degrades to "no memory reading".
+constexpr std::size_t kMemoryQueryAttempts = 3;
 
 }  // namespace
 
@@ -42,22 +48,38 @@ ProfileSample InferenceProfiler::profile(const nn::CnnSpec& spec) {
   simulator_.set_inference_active(true);
 
   double power_sum = 0.0;
+  std::size_t power_reads_ok = 0;
   for (std::size_t i = 0; i < options_.power_readings; ++i) {
     unsigned milliwatts = 0;
     const nvml::Return r =
         session_.device_get_power_usage(handle_, &milliwatts);
+    if (r == nvml::Return::ErrorUnknown) {
+      // Transient read failure: skip this reading, average the rest.
+      if (obs::metrics().enabled()) {
+        HwMetrics::get().sensor_read_failures.add(1);
+      }
+      continue;
+    }
     if (r != nvml::Return::Success) {
       simulator_.unload_model();
       throw std::runtime_error("InferenceProfiler: power query failed: " +
                                nvml::error_string(r));
     }
     power_sum += static_cast<double>(milliwatts) / 1000.0;
+    ++power_reads_ok;
+  }
+  if (power_reads_ok == 0) {
+    // Every reading of the burst failed: the sensor is dark for this
+    // sample. Typed + transient, so callers (resilience layer, retry
+    // loops) know a later attempt may succeed.
+    simulator_.unload_model();
+    throw SensorError("InferenceProfiler: every power reading failed");
   }
 
   ProfileSample sample;
   sample.spec = spec;
   sample.z = spec.structural_vector();
-  sample.power_w = power_sum / static_cast<double>(options_.power_readings);
+  sample.power_w = power_sum / static_cast<double>(power_reads_ok);
   sample.latency_ms = simulator_.inference_latency_ms();
   if (options_.collect_layer_timings) {
     sample.layer_timings = simulator_.profile_layers(
@@ -65,9 +87,21 @@ ProfileSample InferenceProfiler::profile(const nn::CnnSpec& spec) {
   }
 
   nvml::Memory memory;
-  const nvml::Return r = session_.device_get_memory_info(handle_, &memory);
+  nvml::Return r = nvml::Return::ErrorUnknown;
+  for (std::size_t attempt = 0;
+       attempt < kMemoryQueryAttempts && r == nvml::Return::ErrorUnknown;
+       ++attempt) {
+    r = session_.device_get_memory_info(handle_, &memory);
+  }
   if (r == nvml::Return::Success) {
     sample.memory_mb = static_cast<double>(memory.used) / (1024.0 * 1024.0);
+  } else if (r == nvml::Return::ErrorUnknown) {
+    // Counter exists but stayed dark through the retries: degrade the
+    // sample (memory absent, flagged) instead of failing the profile.
+    sample.memory_read_failed = true;
+    if (obs::metrics().enabled()) HwMetrics::get().sensor_read_failures.add(1);
+    obs::logger().warn("hw.memory_query_degraded",
+                       {{"attempts", obs::JsonValue(kMemoryQueryAttempts)}});
   } else if (r != nvml::Return::ErrorNotSupported) {
     simulator_.unload_model();
     throw std::runtime_error("InferenceProfiler: memory query failed: " +

@@ -19,6 +19,10 @@ struct ProfileSample {
   std::vector<double> z;  ///< structural hyper-parameter vector
   double power_w = 0.0;   ///< mean of repeated NVML power readings
   std::optional<double> memory_mb;  ///< absent on platforms without the counter
+  /// True when the platform HAS a memory counter but every query attempt
+  /// failed (transient sensor fault) — distinguishes a degraded sample
+  /// from a Tegra-style permanently-counterless one.
+  bool memory_read_failed = false;
   double latency_ms = 0.0;
   /// nvprof-style per-layer timing breakdown (with measurement noise);
   /// empty unless ProfilerOptions::collect_layer_timings is set. Feeds

@@ -1,0 +1,35 @@
+#include "hw/sensor.hpp"
+
+namespace hp::hw {
+
+PowerBurst read_power_burst(const std::function<double()>& read,
+                            std::size_t readings, std::size_t fallback_after) {
+  PowerBurst burst;
+  double sum = 0.0;
+  std::size_t consecutive_failures = 0;
+  for (std::size_t i = 0; i < readings; ++i) {
+    try {
+      const double value = read();
+      sum += value;
+      ++burst.reads_ok;
+      consecutive_failures = 0;
+    } catch (const SensorError&) {
+      ++burst.failures;
+      ++consecutive_failures;
+      if (fallback_after > 0 && consecutive_failures >= fallback_after) {
+        burst.degraded = true;
+        return burst;
+      }
+    }
+  }
+  if (burst.reads_ok == 0) {
+    // Every read failed without tripping the threshold (short bursts):
+    // still nothing to average, so the sensor is effectively dark.
+    burst.degraded = true;
+    return burst;
+  }
+  burst.mean_w = sum / static_cast<double>(burst.reads_ok);
+  return burst;
+}
+
+}  // namespace hp::hw

@@ -18,6 +18,7 @@ struct TestbedMetrics {
   obs::Counter& simulated_epochs;
   obs::Counter& divergence_detections;
   obs::Counter& infeasible_architectures;
+  obs::Counter& sensor_fallbacks;
 
   static TestbedMetrics& get() {
     obs::MetricsRegistry& m = obs::metrics();
@@ -26,10 +27,15 @@ struct TestbedMetrics {
         m.counter("testbed.simulated_epochs"),
         m.counter("testbed.divergence_detections"),
         m.counter("testbed.infeasible_architectures"),
+        m.counter("testbed.sensor_fallbacks"),
     };
     return instance;
   }
 };
+
+/// Salts the detached-path fault stream so it never collides with the
+/// measurement-noise stream, which is keyed off the same spec hash.
+constexpr std::uint64_t kDetachedFaultSalt = 0x7f4a7c159e3779b9ULL;
 
 /// Read-side tally of one finished evaluation (both evaluation paths).
 void observe_evaluation(const core::EvaluationRecord& record,
@@ -81,6 +87,7 @@ TestbedObjective::TestbedObjective(const core::BenchmarkProblem& problem,
       landscape_(problem, landscape_params),
       simulator_(std::move(device), options.sensor_seed),
       options_(options) {
+  simulator_.set_sensor_faults(options_.sensor_faults);
   if (options_.base_training_time_s <= 0.0) {
     throw std::invalid_argument(
         "TestbedObjective: base training time must be > 0");
@@ -118,19 +125,77 @@ double TestbedObjective::training_time_s(
 TestbedObjective::Measurement TestbedObjective::measure(
     const core::Configuration& config) {
   const nn::CnnSpec spec = problem_.to_cnn_spec(config);
+  // Rewind the sensor streams to this network's private seeds — the same
+  // formulas the detached path uses — so a measurement is a pure function
+  // of (seeds, spec). Without this, replaying a journal (which skips the
+  // already-evaluated networks) would leave the shared streams at a
+  // different position and the resumed run's readings would drift.
+  simulator_.reseed_sensors(
+      stats::stream_seed(options_.sensor_seed, hw::CostModel::hash_spec(spec)),
+      stats::stream_seed(options_.sensor_faults.seed ^ kDetachedFaultSalt,
+                         hw::CostModel::hash_spec(spec)));
   simulator_.load_model(spec);
   simulator_.set_inference_active(true);
-  double power_sum = 0.0;
-  for (std::size_t i = 0; i < options_.power_readings; ++i) {
-    power_sum += simulator_.read_power_w();
-  }
-  Measurement m;
-  m.power_w = power_sum / static_cast<double>(options_.power_readings);
-  if (const auto info = simulator_.memory_info()) {
-    m.memory_mb = info->used_mb;
+  const hw::PowerBurst burst = hw::read_power_burst(
+      [this] { return simulator_.read_power_w(); }, options_.power_readings,
+      options_.sensor_fallback_after);
+  std::optional<double> memory_mb;
+  bool memory_read_failed = false;
+  const hw::GpuSimulator::MemoryReading reading = simulator_.read_memory();
+  switch (reading.status) {
+    case hw::GpuSimulator::MemoryQueryStatus::Ok:
+      memory_mb = reading.info.used_mb;
+      break;
+    case hw::GpuSimulator::MemoryQueryStatus::ReadError:
+      memory_read_failed = true;
+      break;
+    case hw::GpuSimulator::MemoryQueryStatus::NotSupported:
+      break;  // Tegra-class: memory constraint is simply absent.
   }
   simulator_.set_inference_active(false);
   simulator_.unload_model();
+  return resolve_measurement(spec, burst, memory_mb, memory_read_failed);
+}
+
+TestbedObjective::Measurement TestbedObjective::resolve_measurement(
+    const nn::CnnSpec& spec, const hw::PowerBurst& burst,
+    std::optional<double> memory_mb, bool memory_read_failed) {
+  Measurement m;
+  std::vector<double> z;  // structural vector, built only if a fallback fires
+  const auto structural = [&]() -> const std::vector<double>& {
+    if (z.empty()) z = spec.structural_vector();
+    return z;
+  };
+  if (!burst.degraded && burst.mean_w) {
+    m.power_w = *burst.mean_w;
+  } else {
+    if (fallback_power_ == nullptr) {
+      throw hw::SensorError(
+          "TestbedObjective: power sensor dark and no fallback model "
+          "installed");
+    }
+    m.power_w = fallback_power_->predict(structural());
+    m.measured = false;
+  }
+  if (memory_read_failed) {
+    if (fallback_memory_ == nullptr) {
+      throw hw::SensorError(
+          "TestbedObjective: memory counter dark and no fallback model "
+          "installed");
+    }
+    m.memory_mb = fallback_memory_->predict(structural());
+    m.measured = false;
+  } else {
+    m.memory_mb = memory_mb;
+  }
+  if (!m.measured) {
+    if (obs::metrics().enabled()) TestbedMetrics::get().sensor_fallbacks.add(1);
+    obs::logger().warn(
+        "hw.sensor_fallback",
+        {{"power_degraded", obs::JsonValue(burst.degraded)},
+         {"memory_degraded", obs::JsonValue(memory_read_failed)},
+         {"failed_reads", obs::JsonValue(burst.failures)}});
+  }
   return m;
 }
 
@@ -184,6 +249,7 @@ core::EvaluationRecord TestbedObjective::evaluate(
   const Measurement m = measure(config);
   record.measured_power_w = m.power_w;
   record.measured_memory_mb = m.memory_mb;
+  record.measured = m.measured;
   record.cost_s += options_.measurement_time_s;
 
   clock_.advance(record.cost_s);
@@ -231,10 +297,10 @@ core::EvaluationRecord TestbedObjective::evaluate_detached(
   record.test_error = landscape_.final_error(config, options_.run_seed);
   record.cost_s = full_time;
 
-  // Detached measurement: same device physics as measure(), but the sensor
-  // noise comes from a stream private to this network — a pure function of
-  // (sensor_seed, spec) — instead of the simulator's shared sequential
-  // stream, so the reading does not depend on which samples ran before.
+  // Detached measurement: same device physics as measure(), with sensor
+  // noise from the same per-network streams measure() rewinds to — a pure
+  // function of (sensor_seed, spec) — so a detached reading is bit-identical
+  // to the sequential one and independent of which samples ran before.
   const hw::InferenceCost cost = simulator_.cost_model().evaluate(spec);
   if (cost.memory_mb > simulator_.device().dram_gb * 1024.0) {
     throw std::runtime_error(
@@ -242,18 +308,42 @@ core::EvaluationRecord TestbedObjective::evaluate_detached(
   }
   stats::Rng sensor(stats::stream_seed(options_.sensor_seed,
                                        hw::CostModel::hash_spec(spec)));
-  double power_sum = 0.0;
-  for (std::size_t i = 0; i < options_.power_readings; ++i) {
-    const double noisy =
-        cost.average_power_w *
-        (1.0 + sensor.gaussian(0.0, hw::GpuSimulator::kPowerReadingNoiseSd));
-    power_sum += noisy > 0.0 ? noisy : 0.0;
-  }
-  record.measured_power_w =
-      power_sum / static_cast<double>(options_.power_readings);
+  // Injected faults draw from their own per-network stream — a pure
+  // function of (fault seed, spec) — so failures land on the same
+  // candidates at any thread count or batch order, and an enabled fault
+  // schedule never perturbs the noise values of successful reads.
+  stats::Rng fault(stats::stream_seed(
+      options_.sensor_faults.seed ^ kDetachedFaultSalt,
+      hw::CostModel::hash_spec(spec)));
+  const hw::PowerBurst burst = hw::read_power_burst(
+      [&] {
+        if (options_.sensor_faults.enabled() &&
+            fault.bernoulli(options_.sensor_faults.failure_rate)) {
+          throw hw::SensorError(
+              "TestbedObjective: simulated power-sensor read failure");
+        }
+        const double noisy =
+            cost.average_power_w *
+            (1.0 +
+             sensor.gaussian(0.0, hw::GpuSimulator::kPowerReadingNoiseSd));
+        return noisy > 0.0 ? noisy : 0.0;
+      },
+      options_.power_readings, options_.sensor_fallback_after);
+  std::optional<double> memory_mb;
+  bool memory_read_failed = false;
   if (simulator_.device().supports_memory_query) {
-    record.measured_memory_mb = cost.memory_mb;
+    if (options_.sensor_faults.enabled() && options_.sensor_faults.fail_memory &&
+        fault.bernoulli(options_.sensor_faults.failure_rate)) {
+      memory_read_failed = true;
+    } else {
+      memory_mb = cost.memory_mb;
+    }
   }
+  const Measurement m =
+      resolve_measurement(spec, burst, memory_mb, memory_read_failed);
+  record.measured_power_w = m.power_w;
+  record.measured_memory_mb = m.memory_mb;
+  record.measured = m.measured;
   record.cost_s += options_.measurement_time_s;
   observe_evaluation(record, total_epochs);
   return record;

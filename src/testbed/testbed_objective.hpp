@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/hw_models.hpp"
 #include "core/objective.hpp"
 #include "core/spaces.hpp"
 #include "hw/gpu_simulator.hpp"
+#include "hw/sensor.hpp"
 #include "testbed/landscape.hpp"
 
 namespace hp::testbed {
@@ -43,6 +45,12 @@ struct TestbedOptions {
   /// Random configurations sampled to estimate the reference (median)
   /// workload.
   std::size_t reference_sample_count = 200;
+  /// Injected sensor-fault schedule (hw/sensor.hpp); disabled by default.
+  hw::SensorFaultSpec sensor_faults{};
+  /// Consecutive failed power readings after which a measurement gives up
+  /// on the sensor and falls back to the predictive models (records get
+  /// measured = false). 0 = never fall back mid-burst.
+  std::size_t sensor_fallback_after = 3;
 };
 
 /// Per-(device, dataset) calibrated options reproducing the paper's
@@ -84,8 +92,22 @@ class TestbedObjective final : public core::Objective {
   struct Measurement {
     double power_w = 0.0;
     std::optional<double> memory_mb;
+    /// False when any metric came from the fallback models, not sensors.
+    bool measured = true;
   };
+  /// Throws hw::SensorError when the sensors are dark and no fallback
+  /// model is installed (set_fallback_models).
   [[nodiscard]] Measurement measure(const core::Configuration& config);
+
+  /// Installs the NeuralPower-style predictive models used when live
+  /// sensor reads fail repeatedly (graceful degradation): records then
+  /// carry predicted power/memory with measured = false instead of
+  /// crashing the run. Non-owning; pass nullptr to disable either.
+  void set_fallback_models(const core::HardwareModel* power,
+                           const core::HardwareModel* memory) {
+    fallback_power_ = power;
+    fallback_memory_ = memory;
+  }
 
   [[nodiscard]] const ErrorLandscape& landscape() const noexcept {
     return landscape_;
@@ -101,12 +123,21 @@ class TestbedObjective final : public core::Objective {
   void set_run_seed(std::uint64_t seed) { options_.run_seed = seed; }
 
  private:
+  /// Shared tail of both measurement paths: resolve a finished power
+  /// burst + memory reading into a Measurement, falling back to the
+  /// predictive models (or throwing hw::SensorError) when degraded.
+  [[nodiscard]] Measurement resolve_measurement(
+      const nn::CnnSpec& spec, const hw::PowerBurst& burst,
+      std::optional<double> memory_mb, bool memory_read_failed);
+
   const core::BenchmarkProblem& problem_;
   ErrorLandscape landscape_;
   hw::GpuSimulator simulator_;
   TestbedOptions options_;
   core::VirtualClock clock_;
   double reference_macs_ = 1.0;
+  const core::HardwareModel* fallback_power_ = nullptr;
+  const core::HardwareModel* fallback_memory_ = nullptr;
 };
 
 }  // namespace hp::testbed

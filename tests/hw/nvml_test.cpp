@@ -107,6 +107,58 @@ TEST_F(NvmlTest, PowerQueryWorksOnTegra) {
   EXPECT_LT(mw, 20000u);  // < 20 W
 }
 
+TEST_F(NvmlTest, InjectedPowerFaultSurfacesAsErrorUnknown) {
+  ASSERT_EQ(session_.init(), Return::Success);
+  SensorFaultSpec faults;
+  faults.failure_rate = 1.0;
+  server_.set_sensor_faults(faults);
+  unsigned mw = 0;
+  EXPECT_EQ(session_.device_get_power_usage(server_handle_, &mw),
+            Return::ErrorUnknown);
+  // The session survives the failed read; disarming the fault heals it.
+  faults.failure_rate = 0.0;
+  server_.set_sensor_faults(faults);
+  EXPECT_EQ(session_.device_get_power_usage(server_handle_, &mw),
+            Return::Success);
+}
+
+TEST_F(NvmlTest, InjectedMemoryFaultIsTypedNotASentinel) {
+  ASSERT_EQ(session_.init(), Return::Success);
+  server_.load_model(small_spec());
+  SensorFaultSpec faults;
+  faults.failure_rate = 1.0;
+  faults.fail_memory = true;
+  server_.set_sensor_faults(faults);
+  Memory mem;
+  // Transient read failure: ErrorUnknown, NOT the permanent
+  // ErrorNotSupported the old sentinel path conflated it with.
+  EXPECT_EQ(session_.device_get_memory_info(server_handle_, &mem),
+            Return::ErrorUnknown);
+  faults.failure_rate = 0.0;
+  server_.set_sensor_faults(faults);
+  EXPECT_EQ(session_.device_get_memory_info(server_handle_, &mem),
+            Return::Success);
+  EXPECT_GT(mem.used, 0u);
+}
+
+TEST_F(NvmlTest, MemoryFaultScheduleIsDeterministic) {
+  ASSERT_EQ(session_.init(), Return::Success);
+  SensorFaultSpec faults;
+  faults.failure_rate = 0.5;
+  faults.fail_memory = true;
+  faults.seed = 77;
+  const auto pattern = [&] {
+    server_.set_sensor_faults(faults);  // resets the fault stream
+    std::vector<Return> results;
+    Memory mem;
+    for (int i = 0; i < 32; ++i) {
+      results.push_back(session_.device_get_memory_info(server_handle_, &mem));
+    }
+    return results;
+  };
+  EXPECT_EQ(pattern(), pattern());
+}
+
 TEST(NvmlStrings, ErrorStringsDistinct) {
   EXPECT_EQ(error_string(Return::Success), "Success");
   EXPECT_NE(error_string(Return::ErrorNotSupported),

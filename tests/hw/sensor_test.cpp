@@ -1,0 +1,189 @@
+#include "hw/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/gpu_simulator.hpp"
+
+namespace hp::hw {
+namespace {
+
+nn::CnnSpec small_spec() {
+  nn::CnnSpec spec;
+  spec.input = {1, 1, 28, 28};
+  spec.conv_stages = {{30, 3, 2}};
+  spec.dense_stages = {{300}};
+  spec.num_classes = 10;
+  return spec;
+}
+
+/// A scripted sensor: reads follow a fixed ok/fail pattern.
+class ScriptedSensor {
+ public:
+  explicit ScriptedSensor(std::vector<bool> fails) : fails_(std::move(fails)) {}
+  double operator()() {
+    const std::size_t i = calls_++;
+    if (i < fails_.size() && fails_[i]) {
+      throw SensorError("scripted failure");
+    }
+    return 100.0 + static_cast<double>(i);
+  }
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+
+ private:
+  std::vector<bool> fails_;
+  std::size_t calls_ = 0;
+};
+
+TEST(ReadPowerBurst, AveragesAllSuccessfulReads) {
+  ScriptedSensor sensor({false, false, false, false});
+  const PowerBurst burst =
+      read_power_burst([&] { return sensor(); }, 4, /*fallback_after=*/3);
+  EXPECT_FALSE(burst.degraded);
+  EXPECT_EQ(burst.reads_ok, 4u);
+  EXPECT_EQ(burst.failures, 0u);
+  ASSERT_TRUE(burst.mean_w.has_value());
+  // reads are 100, 101, 102, 103.
+  EXPECT_DOUBLE_EQ(*burst.mean_w, 101.5);
+}
+
+TEST(ReadPowerBurst, SkipsIsolatedFailures) {
+  ScriptedSensor sensor({false, true, false, true, false});
+  const PowerBurst burst =
+      read_power_burst([&] { return sensor(); }, 5, /*fallback_after=*/3);
+  EXPECT_FALSE(burst.degraded);
+  EXPECT_EQ(burst.reads_ok, 3u);
+  EXPECT_EQ(burst.failures, 2u);
+  ASSERT_TRUE(burst.mean_w.has_value());
+  // successful reads are 100, 102, 104.
+  EXPECT_DOUBLE_EQ(*burst.mean_w, 102.0);
+}
+
+TEST(ReadPowerBurst, DegradesAfterConsecutiveFailures) {
+  ScriptedSensor sensor({false, true, true, true, false, false});
+  const PowerBurst burst =
+      read_power_burst([&] { return sensor(); }, 6, /*fallback_after=*/3);
+  EXPECT_TRUE(burst.degraded);
+  EXPECT_FALSE(burst.mean_w.has_value());
+  EXPECT_EQ(burst.failures, 3u);
+  // Gave up after the third consecutive failure: reads 5 and 6 never ran.
+  EXPECT_EQ(sensor.calls(), 4u);
+}
+
+TEST(ReadPowerBurst, AllReadsFailedMeansNoMean) {
+  ScriptedSensor sensor({true, true});
+  const PowerBurst burst =
+      read_power_burst([&] { return sensor(); }, 2, /*fallback_after=*/0);
+  EXPECT_FALSE(burst.mean_w.has_value());
+  EXPECT_EQ(burst.reads_ok, 0u);
+  EXPECT_EQ(burst.failures, 2u);
+}
+
+TEST(ReadPowerBurst, ZeroFallbackAfterNeverDegrades) {
+  ScriptedSensor sensor({true, true, true, true, false});
+  const PowerBurst burst =
+      read_power_burst([&] { return sensor(); }, 5, /*fallback_after=*/0);
+  EXPECT_FALSE(burst.degraded);
+  EXPECT_EQ(burst.reads_ok, 1u);
+  EXPECT_EQ(burst.failures, 4u);
+  ASSERT_TRUE(burst.mean_w.has_value());
+  EXPECT_DOUBLE_EQ(*burst.mean_w, 104.0);
+}
+
+TEST(ReadPowerBurst, NonSensorExceptionsPropagate) {
+  EXPECT_THROW((void)read_power_burst(
+                   []() -> double { throw std::logic_error("bug"); }, 3, 3),
+               std::logic_error);
+}
+
+TEST(GpuSimulatorFaults, DisabledFaultsLeaveReadingsIdentical) {
+  GpuSimulator clean(gtx1070(), 11);
+  GpuSimulator armed(gtx1070(), 11);
+  SensorFaultSpec spec;
+  spec.failure_rate = 0.0;
+  armed.set_sensor_faults(spec);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(clean.read_power_w(), armed.read_power_w());
+  }
+}
+
+TEST(GpuSimulatorFaults, FaultPatternIsDeterministicPerSeed) {
+  SensorFaultSpec spec;
+  spec.failure_rate = 0.3;
+  spec.seed = 123;
+  const auto pattern = [&spec](std::uint64_t noise_seed) {
+    GpuSimulator sim(gtx1070(), noise_seed);
+    sim.set_sensor_faults(spec);
+    std::vector<bool> fails;
+    for (int i = 0; i < 100; ++i) {
+      try {
+        (void)sim.read_power_w();
+        fails.push_back(false);
+      } catch (const SensorError&) {
+        fails.push_back(true);
+      }
+    }
+    return fails;
+  };
+  const std::vector<bool> a = pattern(11);
+  EXPECT_EQ(a, pattern(11));
+  // The fault stream is keyed by spec.seed, not the noise seed.
+  EXPECT_EQ(a, pattern(12));
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 10);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 40);
+}
+
+TEST(GpuSimulatorFaults, RateOneFailsEveryRead) {
+  GpuSimulator sim(gtx1070(), 5);
+  SensorFaultSpec spec;
+  spec.failure_rate = 1.0;
+  sim.set_sensor_faults(spec);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_THROW((void)sim.read_power_w(), SensorError);
+  }
+}
+
+TEST(GpuSimulatorFaults, MemoryReadsHonorFailMemoryFlag) {
+  GpuSimulator sim(gtx1070(), 6);
+  SensorFaultSpec spec;
+  spec.failure_rate = 1.0;
+  spec.fail_memory = false;
+  sim.set_sensor_faults(spec);
+  EXPECT_EQ(sim.read_memory().status, GpuSimulator::MemoryQueryStatus::Ok);
+  spec.fail_memory = true;
+  sim.set_sensor_faults(spec);
+  EXPECT_EQ(sim.read_memory().status,
+            GpuSimulator::MemoryQueryStatus::ReadError);
+}
+
+TEST(GpuSimulatorFaults, MemoryReadReportsNotSupportedOnTegra) {
+  GpuSimulator sim(tegra_tx1(), 7);
+  EXPECT_EQ(sim.read_memory().status,
+            GpuSimulator::MemoryQueryStatus::NotSupported);
+  // NotSupported is permanent: injected faults do not turn it into a
+  // transient ReadError.
+  SensorFaultSpec spec;
+  spec.failure_rate = 1.0;
+  spec.fail_memory = true;
+  sim.set_sensor_faults(spec);
+  EXPECT_EQ(sim.read_memory().status,
+            GpuSimulator::MemoryQueryStatus::NotSupported);
+}
+
+TEST(GpuSimulatorFaults, OkMemoryReadMatchesGroundTruth) {
+  GpuSimulator sim(gtx1070(), 8);
+  sim.load_model(small_spec());
+  const auto truth = sim.memory_info();
+  ASSERT_TRUE(truth.has_value());
+  const GpuSimulator::MemoryReading reading = sim.read_memory();
+  ASSERT_EQ(reading.status, GpuSimulator::MemoryQueryStatus::Ok);
+  EXPECT_DOUBLE_EQ(reading.info.used_mb, truth->used_mb);
+  EXPECT_DOUBLE_EQ(reading.info.total_mb, truth->total_mb);
+}
+
+}  // namespace
+}  // namespace hp::hw

@@ -83,6 +83,66 @@ TEST_F(TestbedObjectiveTest, MeasureMatchesSimulatorGroundTruth) {
   ASSERT_TRUE(m.memory_mb.has_value());
 }
 
+TEST_F(TestbedObjectiveTest, MeasurementIsReplayPure) {
+  // A measurement is a pure function of (seeds, spec): evaluating other
+  // configurations in between must not shift the sensor streams — the
+  // property journal replay (which skips already-evaluated networks)
+  // depends on.
+  const auto first = objective_.evaluate(converging(), nullptr);
+  const core::Configuration other{30.0, 5.0, 1.0, 200.0, 0.01, 0.85};
+  (void)objective_.evaluate(other, nullptr);
+  const auto again = objective_.evaluate(converging(), nullptr);
+  EXPECT_EQ(first.measured_power_w, again.measured_power_w);
+  EXPECT_EQ(first.measured_memory_mb, again.measured_memory_mb);
+}
+
+TEST_F(TestbedObjectiveTest, SequentialAndDetachedMeasurementsAgree) {
+  const auto sequential = objective_.evaluate(converging(), nullptr);
+  const auto detached = objective_.evaluate_detached(converging(), nullptr);
+  EXPECT_EQ(sequential.measured_power_w, detached.measured_power_w);
+  EXPECT_EQ(sequential.measured_memory_mb, detached.measured_memory_mb);
+  EXPECT_EQ(sequential.test_error, detached.test_error);
+  EXPECT_EQ(sequential.cost_s, detached.cost_s);
+}
+
+TEST_F(TestbedObjectiveTest, SensorFallbackPredictsAndFlagsUnmeasured) {
+  TestbedOptions opt = calibrated_options("mnist", hw::gtx1070());
+  opt.sensor_faults.failure_rate = 1.0;  // every read fails
+  opt.sensor_faults.fail_memory = true;
+  opt.sensor_fallback_after = 2;
+  TestbedObjective faulty(problem_, mnist_landscape(), hw::gtx1070(), opt);
+  // No fallback model installed: the dark sensor is a transient error the
+  // resilience layer would retry.
+  EXPECT_THROW((void)faulty.evaluate(converging(), nullptr), hw::SensorError);
+  const core::HardwareModel power(core::ModelForm::Linear,
+                                  linalg::Vector{0.5, 1.0, -1.0, 0.02}, 40.0,
+                                  2.0);
+  const core::HardwareModel memory(core::ModelForm::Linear,
+                                   linalg::Vector{2.0, 5.0, -3.0, 0.5}, 500.0,
+                                   20.0);
+  faulty.set_fallback_models(&power, &memory);
+  const auto r = faulty.evaluate(converging(), nullptr);
+  EXPECT_EQ(r.status, core::EvaluationStatus::Completed);
+  EXPECT_FALSE(r.measured);
+  const nn::CnnSpec spec = problem_.to_cnn_spec(converging());
+  const std::vector<double> z = spec.structural_vector();
+  ASSERT_TRUE(r.measured_power_w.has_value());
+  EXPECT_DOUBLE_EQ(*r.measured_power_w, power.predict(z));
+  ASSERT_TRUE(r.measured_memory_mb.has_value());
+  EXPECT_DOUBLE_EQ(*r.measured_memory_mb, memory.predict(z));
+}
+
+TEST_F(TestbedObjectiveTest, IsolatedSensorGlitchesKeepMeasuredFlag) {
+  TestbedOptions opt = calibrated_options("mnist", hw::gtx1070());
+  opt.sensor_faults.failure_rate = 0.2;
+  opt.sensor_fallback_after = 0;  // skip failures, never degrade
+  TestbedObjective flaky(problem_, mnist_landscape(), hw::gtx1070(), opt);
+  const auto r = flaky.evaluate(converging(), nullptr);
+  EXPECT_EQ(r.status, core::EvaluationStatus::Completed);
+  EXPECT_TRUE(r.measured);
+  ASSERT_TRUE(r.measured_power_w.has_value());
+}
+
 TEST_F(TestbedObjectiveTest, RunSeedChangesOutcome) {
   const auto a = objective_.evaluate(converging(), nullptr);
   objective_.set_run_seed(999);

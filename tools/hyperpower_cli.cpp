@@ -27,9 +27,11 @@
 #include <unistd.h>
 
 #include "cli/args.hpp"
+#include "core/fault_injection.hpp"
 #include "core/framework.hpp"
 #include "core/model_io.hpp"
 #include "core/pareto.hpp"
+#include "core/trace_io.hpp"
 #include "hw/profiler.hpp"
 #include "obs/obs.hpp"
 #include "testbed/testbed_objective.hpp"
@@ -50,6 +52,9 @@ commands:
             [--power-budget W] [--memory-budget MB] [--hours H | --evals N]
             [--default-mode] [--seed S] [--trace PATH]
             [--batch K] [--threads T]   (batched parallel evaluation)
+            [--retries N] [--eval-timeout S]   (fault tolerance)
+            [--journal PATH] [--resume]        (crash-safe checkpointing)
+            [--fault-rate R] [--fault-seed S] [--sensor-fault-rate R]
   pareto    --problem P --device NAME [--power-budget W] [--hours H] [--seed S]
   devices
 
@@ -60,6 +65,12 @@ observability (any command):
   --metrics P     collect counters/histograms, write them as JSON to P
   --progress      force the live progress line (optimize; default on a tty)
   --quiet         suppress the live progress line
+
+exit codes:
+  0  success (optimize: a best feasible configuration was found)
+  1  no feasible configuration found, or internal error
+  2  bad arguments
+  3  run aborted after repeated evaluation failures
 )");
   return 2;
 }
@@ -353,13 +364,36 @@ int cmd_optimize(const cli::Args& args) {
   args.require_known(with_obs_flags(
       {"problem", "device", "method", "power-budget", "memory-budget", "hours",
        "evals", "default-mode", "seed", "trace", "profile-samples",
-       "power-model", "memory-model", "batch", "threads"}));
+       "power-model", "memory-model", "batch", "threads", "retries",
+       "eval-timeout", "journal", "resume", "fault-rate", "fault-seed",
+       "sensor-fault-rate"}));
   ObsScope obs_scope(args);
   SearchSetup s = search_setup(args);
+  testbed::TestbedOptions testbed_options =
+      testbed::calibrated_options(s.problem.name(), s.device);
+  testbed_options.sensor_faults.failure_rate =
+      args.get_double_or("sensor-fault-rate", 0.0);
+  testbed_options.sensor_faults.seed = static_cast<std::uint64_t>(
+      args.get_int_or("fault-seed", 1234));
   testbed::TestbedObjective objective(
       s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
-      testbed::calibrated_options(s.problem.name(), s.device));
-  core::HyperPowerFramework framework(s.problem, objective, s.budgets);
+      testbed_options);
+
+  // Optional deterministic fault injection around the objective; the
+  // framework and optimizer only ever see the wrapper.
+  std::unique_ptr<core::FaultInjectingObjective> faulty;
+  core::Objective* search_objective = &objective;
+  if (const double fault_rate = args.get_double_or("fault-rate", 0.0);
+      fault_rate > 0.0) {
+    core::FaultSpec fault_spec;
+    fault_spec.failure_rate = fault_rate;
+    fault_spec.seed =
+        static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1234));
+    faulty = std::make_unique<core::FaultInjectingObjective>(objective,
+                                                             fault_spec);
+    search_objective = faulty.get();
+  }
+  core::HyperPowerFramework framework(s.problem, *search_objective, s.budgets);
 
   core::FrameworkOptions options;
   options.method = method_by_name(args.get_or("method", "hw-ieci"));
@@ -379,6 +413,18 @@ int cmd_optimize(const cli::Args& args) {
   options.optimizer.batch_size = args.get_uint_or("batch", 1);
   options.optimizer.num_threads =
       args.get_uint_or("threads", options.optimizer.batch_size);
+  if (const auto retries = args.get_uint("retries")) {
+    options.optimizer.retry.max_attempts = *retries + 1;
+  }
+  if (const auto timeout = args.get_double("eval-timeout")) {
+    options.optimizer.retry.eval_timeout_s = *timeout;
+  }
+  if (const auto journal = args.get("journal")) {
+    options.optimizer.journal_path = *journal;
+  }
+  if (args.has("resume") && options.optimizer.journal_path.empty()) {
+    throw std::invalid_argument("--resume requires --journal PATH");
+  }
 
   if (options.hyperpower_mode && s.budgets.any()) {
     if (args.has("power-model") || args.has("memory-model")) {
@@ -406,6 +452,15 @@ int cmd_optimize(const cli::Args& args) {
     }
   }
 
+  // Whatever predictive models exist double as sensor fallbacks: when the
+  // live power/memory counters stay dark, measurements degrade to model
+  // predictions (measured=false) instead of failing the candidate.
+  if (framework.power_model()) {
+    objective.set_fallback_models(
+        &framework.power_model()->model,
+        framework.memory_model() ? &framework.memory_model()->model : nullptr);
+  }
+
   // Live progress line: on by default when stderr is a terminal, forced by
   // --progress, suppressed by --quiet. Rendered from the optimizer's
   // "optimizer.progress" events (the stderr pretty-printer skips those).
@@ -416,7 +471,38 @@ int cmd_optimize(const cli::Args& args) {
     obs::logger().add_sink(progress, obs::LogLevel::kInfo);
   }
 
-  const auto result = framework.optimize(options);
+  // --resume: replay the journal's completed evaluations, then continue.
+  // A missing or unreadable journal degrades to a fresh run (with a
+  // warning) so restart scripts can pass --resume unconditionally.
+  std::optional<core::JournalLoadResult> journal;
+  if (args.has("resume")) {
+    try {
+      journal = core::EvalJournal::load(options.optimizer.journal_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: cannot resume from %s (%s); "
+                   "starting a fresh run\n",
+                   options.optimizer.journal_path.c_str(), e.what());
+    }
+  }
+  core::FrameworkResult result;
+  if (journal) {
+    std::unique_ptr<core::Optimizer> optimizer = framework.make_optimizer(options);
+    if (journal->header.method != optimizer->name() ||
+        journal->header.seed != options.optimizer.seed ||
+        journal->header.batch_size != options.optimizer.batch_size) {
+      throw std::invalid_argument(
+          "--resume: journal " + options.optimizer.journal_path +
+          " was written by " + journal->header.method + "/seed " +
+          std::to_string(journal->header.seed) + "/batch " +
+          std::to_string(journal->header.batch_size) +
+          ", which does not match this invocation");
+    }
+    result.method_name = optimizer->name();
+    result.hyperpower_mode = options.hyperpower_mode;
+    result.run = optimizer->resume(journal->records);
+  } else {
+    result = framework.optimize(options);
+  }
   if (progress) {
     progress->finish();
     obs::logger().remove_sink(progress);
@@ -425,7 +511,7 @@ int cmd_optimize(const cli::Args& args) {
   const auto& trace = result.run.trace;
   const std::size_t infeasible =
       trace.size() - trace.completed_count() - trace.model_filtered_count() -
-      trace.early_terminated_count();
+      trace.early_terminated_count() - trace.failed_count();
   std::printf("\n%s [%s] run summary\n", result.method_name.c_str(),
               result.hyperpower_mode ? "HyperPower" : "default");
   std::printf("  %-24s %zu\n", "samples queried", trace.size());
@@ -441,6 +527,19 @@ int cmd_optimize(const cli::Args& args) {
               trace.measured_violation_count());
   std::printf("  %-24s %.2f h\n", "simulated runtime",
               trace.total_time_s() / 3600.0);
+  // End-of-run failure summary (all zero on a healthy run).
+  if (trace.failed_count() > 0 || trace.total_retries() > 0 ||
+      trace.fallback_count() > 0) {
+    std::printf("  %-24s %zu\n", "failed after retries", trace.failed_count());
+    std::printf("  %-24s %zu\n", "evaluation retries", trace.total_retries());
+    std::printf("  %-24s %zu\n", "sensor fallbacks", trace.fallback_count());
+  }
+  if (faulty != nullptr) {
+    std::printf("  %-24s %zu\n", "injected faults", faulty->injected_failures());
+  }
+  if (result.run.aborted) {
+    std::printf("run aborted: %s\n", result.run.abort_reason.c_str());
+  }
   if (result.run.best) {
     const auto& best = *result.run.best;
     std::printf("  %-24s %.2f%%\n", "best feasible error",
@@ -463,6 +562,7 @@ int cmd_optimize(const cli::Args& args) {
     trace.write_csv(os);
     std::printf("wrote %s\n", path->c_str());
   }
+  if (result.run.aborted) return 3;
   return result.run.best ? 0 : 1;
 }
 
@@ -510,6 +610,10 @@ int main(int argc, char** argv) {
     if (command == "pareto") return cmd_pareto(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
+  } catch (const std::invalid_argument& e) {
+    // Bad arguments (unknown flags, malformed values, mismatched journal).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -13,6 +13,13 @@ Rules (see DESIGN.md §10 for rationale and how to add one):
   exception-swallow     Every `catch (...)` must rethrow or capture via
                         std::current_exception(); silently swallowing
                         unknown exceptions hides contract violations.
+  failure-recording     In src/core and src/hw, every catch clause (typed
+                        or catch-all) must rethrow, capture via
+                        std::current_exception(), or visibly record the
+                        failure (EvalFailure / classify_failure, a failure
+                        counter or degraded flag, or a typed error
+                        return). The fault-tolerance layer depends on no
+                        evaluation or sensor failure vanishing silently.
   pragma-once           Every header starts with #pragma once.
   self-include-first    A library .cpp includes its own header first, so
                         each header proves it is self-contained.
@@ -110,13 +117,21 @@ def check_library_io(path, root, lines, findings):
                 "write to stdio directly"))
 
 
-CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+CATCH_RE = re.compile(r"catch\s*\(([^)]*)\)")
 RETHROW_RE = re.compile(r"\bthrow\b|current_exception|rethrow_exception")
+# Markers that a handler recorded the failure instead of dropping it:
+# EvalFailure construction/classification, failure counters and flags
+# (failures, failed, failure_kind, profile_failures), degraded-sensor
+# fallback, or mapping to a typed error return (ErrorUnknown, fail()/bad()
+# error-raising helpers).
+FAILURE_RECORD_RE = re.compile(
+    r"EvalFailure|classify_failure|FailureKind|[Ff]ail|[Ee]rror|degraded|"
+    r"bad\(")
 
 
-def check_exception_swallow(path, root, lines, findings):
-    text = "\n".join(strip_noise(line) for line in lines)
-    for match in CATCH_ALL_RE.finditer(text):
+def catch_clauses(text):
+    """Yields (offset, clause, body) for each catch in stripped text."""
+    for match in CATCH_RE.finditer(text):
         brace = text.find("{", match.end())
         if brace < 0:
             continue
@@ -129,13 +144,36 @@ def check_exception_swallow(path, root, lines, findings):
                 if depth == 0:
                     end = i
                     break
-        body = text[brace:end]
-        if not RETHROW_RE.search(body):
-            lineno = text.count("\n", 0, match.start()) + 1
-            findings.append(Finding(
-                path, lineno, "exception-swallow",
-                "catch (...) must rethrow or capture via "
-                "std::current_exception(); swallowing hides failures"))
+        yield match.start(), match.group(1).strip(), text[brace:end]
+
+
+def check_exception_swallow(path, root, lines, findings):
+    text = "\n".join(strip_noise(line) for line in lines)
+    for offset, clause, body in catch_clauses(text):
+        if clause != "..." or RETHROW_RE.search(body):
+            continue
+        lineno = text.count("\n", 0, offset) + 1
+        findings.append(Finding(
+            path, lineno, "exception-swallow",
+            "catch (...) must rethrow or capture via "
+            "std::current_exception(); swallowing hides failures"))
+
+
+def check_failure_recording(path, root, lines, findings):
+    if not (in_dir(path, root, "src", "core")
+            or in_dir(path, root, "src", "hw")):
+        return
+    text = "\n".join(strip_noise(line) for line in lines)
+    for offset, _clause, body in catch_clauses(text):
+        if RETHROW_RE.search(body) or FAILURE_RECORD_RE.search(body):
+            continue
+        lineno = text.count("\n", 0, offset) + 1
+        findings.append(Finding(
+            path, lineno, "failure-recording",
+            "a catch in src/core or src/hw must rethrow, capture via "
+            "std::current_exception(), or record the failure (EvalFailure "
+            "/ classify_failure, a failure counter or degraded flag, or a "
+            "typed error return)"))
 
 
 def check_pragma_once(path, root, lines, findings):
@@ -203,6 +241,7 @@ CHECKS = (
     check_randomness,
     check_library_io,
     check_exception_swallow,
+    check_failure_recording,
     check_pragma_once,
     check_includes,
 )

@@ -1,10 +1,15 @@
 #!/usr/bin/env sh
-# Tier-1 verification wrapper, four phases (see tests/README.md):
+# Tier-1 verification wrapper, five phases (see tests/README.md):
 #   1. default build + full ctest suite
-#   2. ThreadSanitizer rebuild of the concurrency suites (test_parallel,
-#      test_obs), run directly
+#   2. ThreadSanitizer rebuild of the concurrency + resilience suites
+#      (test_parallel, test_obs, test_resilience, test_integration), run
+#      directly
 #   3. AddressSanitizer (+LeakSanitizer) rebuild, full ctest suite
-#   4. UndefinedBehaviorSanitizer rebuild (non-recoverable), full ctest
+#   4. fault-injection phase: the fault suites re-run from the ASan build
+#      (all fault schedules are fixed-seed, so a failure here is a
+#      determinism regression, not bad luck), plus an end-to-end CLI
+#      crash/resume exercise compared bit-for-bit
+#   5. UndefinedBehaviorSanitizer rebuild (non-recoverable), full ctest
 # plus the project lint gate. Run from anywhere; builds land in the repo
 # root as build/, build-tsan/, build-asan/, build-ubsan/ (all gitignored).
 set -eu
@@ -60,20 +65,47 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "== tier 1: ThreadSanitizer pass (test_parallel + test_obs) =="
+echo "== tier 1: ThreadSanitizer pass (parallel/obs/resilience suites) =="
 probe_sanitizer "ThreadSanitizer" thread
 cmake -B build-tsan -S . -DHYPERPOWER_SANITIZE=thread \
   -DHYPERPOWER_BUILD_BENCHES=OFF -DHYPERPOWER_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j "$jobs" --target test_parallel test_obs
+cmake --build build-tsan -j "$jobs" \
+  --target test_parallel test_obs test_resilience test_integration
 # Run the freshly built binaries directly. ctest-ing build-tsan would run
 # discovery over every registered test target, most of which this phase
-# deliberately never builds.
+# deliberately never builds. test_resilience and test_integration join the
+# concurrency suites because retries, deadline zombie threads, and batched
+# crash/resume all cross thread boundaries.
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_obs
+./build-tsan/tests/test_resilience
+./build-tsan/tests/test_integration
 
 echo "== tier 1: AddressSanitizer (+LSan) pass (full suite) =="
 ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:${ASAN_OPTIONS:-}" \
   sanitizer_ctest_phase "AddressSanitizer" address build-asan
+
+echo "== tier 1: fault-injection pass (deterministic seeds, ASan build) =="
+# Focused re-run of the fault suites from the instrumented build, then an
+# end-to-end crash/resume exercise against the (default-build) CLI: kill a
+# journaled run after four records, resume it, and require the final trace
+# and the rebuilt journal to be bit-identical to the uninterrupted run.
+./build-asan/tests/test_resilience
+./build-asan/tests/test_integration --gtest_filter='FaultTolerance.*'
+fault_tmp="$probe_dir/fault"
+mkdir -p "$fault_tmp"
+cli=./build/tools/hyperpower
+"$cli" optimize --problem mnist --device "GTX 1070" --method rand \
+  --evals 10 --seed 3 --fault-rate 0.2 --retries 2 \
+  --journal "$fault_tmp/full.hpj" --trace "$fault_tmp/full.csv" --quiet
+head -5 "$fault_tmp/full.hpj" > "$fault_tmp/resume.hpj"
+"$cli" optimize --problem mnist --device "GTX 1070" --method rand \
+  --evals 10 --seed 3 --fault-rate 0.2 --retries 2 \
+  --journal "$fault_tmp/resume.hpj" --resume \
+  --trace "$fault_tmp/resume.csv" --quiet
+cmp "$fault_tmp/full.csv" "$fault_tmp/resume.csv"
+cmp "$fault_tmp/full.hpj" "$fault_tmp/resume.hpj"
+echo "crash/resume trace and journal bit-identical"
 
 echo "== tier 1: UndefinedBehaviorSanitizer pass (full suite) =="
 UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}" \
