@@ -1,6 +1,6 @@
 // Google-benchmark timings of the parallel-evaluation engine: raw
 // ThreadPool parallel_for dispatch/speedup over a CPU-bound body, and the
-// batched optimizer loop end to end at varying thread counts. On a
+// EvaluationEngine's batched rounds end to end at varying thread counts. On a
 // multi-core host the *_Threads counters show near-linear scaling of the
 // evaluation phase; on a single-core CI box they degenerate to overhead
 // measurements (the determinism tests, not these timings, are the

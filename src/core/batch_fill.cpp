@@ -1,0 +1,34 @@
+#include "core/batch_fill.hpp"
+
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace hp::core {
+
+std::vector<Configuration> fill_proposal_batch(
+    std::uint64_t run_seed, std::size_t first_sample_index, std::size_t count,
+    const std::function<Configuration(stats::Rng&)>& propose_one,
+    const std::function<bool()>& exhausted, const ConstantLiarHooks& liar) {
+  HP_ENFORCE(static_cast<bool>(propose_one),
+             "fill_proposal_batch: propose_one must be callable");
+  std::vector<Configuration> proposals;
+  proposals.reserve(count);
+  bool lied = false;
+  for (std::size_t j = 0; j < count; ++j) {
+    if (exhausted && exhausted()) break;
+    stats::Rng rng(stats::stream_seed(run_seed, first_sample_index + j));
+    Configuration config = propose_one(rng);
+    // A lie only helps proposals still to come this round; the last
+    // in-round proposal (and a round of one) never pushes one.
+    if (j + 1 < count && liar.push_lie) {
+      liar.push_lie(config);
+      lied = true;
+    }
+    proposals.push_back(std::move(config));
+  }
+  if (lied && liar.pop_lies) liar.pop_lies();
+  return proposals;
+}
+
+}  // namespace hp::core

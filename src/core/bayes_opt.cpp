@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/batch_fill.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
@@ -47,13 +48,10 @@ std::unique_ptr<gp::GaussianProcess> make_gp(std::size_t dimension,
 
 }  // namespace
 
-BayesOptOptimizer::BayesOptOptimizer(
-    const HyperParameterSpace& space, Objective& objective,
-    ConstraintBudgets budgets, const HardwareConstraints* apriori_constraints,
-    OptimizerOptions options, std::unique_ptr<AcquisitionFunction> acquisition,
-    BayesOptOptions bo_options)
-    : Optimizer(space, objective, budgets, apriori_constraints,
-                std::move(options)),
+BayesOptProposer::BayesOptProposer(
+    const HyperParameterSpace& space,
+    std::unique_ptr<AcquisitionFunction> acquisition, BayesOptOptions bo_options)
+    : Proposer(space),
       acquisition_(std::move(acquisition)),
       bo_options_(bo_options),
       pool_(space, bo_options.pool) {
@@ -62,15 +60,15 @@ BayesOptOptimizer::BayesOptOptimizer(
   }
 }
 
-std::string BayesOptOptimizer::name() const { return acquisition_->name(); }
+std::string BayesOptProposer::name() const { return acquisition_->name(); }
 
-double BayesOptOptimizer::proposal_overhead_s() const {
+double BayesOptProposer::proposal_overhead_s() const {
   return bo_options_.overhead_base_s +
          bo_options_.overhead_per_observation_s *
              static_cast<double>(obs_y_.size());
 }
 
-Configuration BayesOptOptimizer::propose(stats::Rng& rng) {
+Configuration BayesOptProposer::propose(stats::Rng& rng) {
   if (obs_y_.size() < bo_options_.initial_design || objective_gp_ == nullptr ||
       !objective_gp_->fitted()) {
     // Initial design: random, but respecting the a-priori constraints when
@@ -98,38 +96,40 @@ Configuration BayesOptOptimizer::propose(stats::Rng& rng) {
   return pool_.maximize(*acquisition_, ctx, rng).config;
 }
 
-std::vector<Configuration> BayesOptOptimizer::propose_batch(
+std::vector<Configuration> BayesOptProposer::propose_batch(
     std::size_t first_sample_index, std::size_t count) {
-  std::vector<Configuration> proposals;
-  proposals.reserve(count);
   const std::size_t real_observations = obs_y_.size();
-  for (std::size_t j = 0; j < count; ++j) {
-    stats::Rng rng = sample_rng(first_sample_index + j);
-    Configuration config = propose(rng);
-    if (j + 1 < count && objective_gp_ != nullptr && objective_gp_->fitted()) {
-      // Lie that the pending candidate came back at the incumbent error;
-      // posterior-only refit (no kernel ML) keeps this cheap and exactly
-      // reversible.
-      if (obs::metrics().enabled()) {
-        BoMetrics::get().constant_liar_fills.add(1);
-      }
-      obs_x_.push_back(space().encode(config));
-      obs_y_.push_back(best_feasible_y_);
-      objective_gp_->fit(rows_to_matrix(obs_x_),
-                         linalg::Vector{std::vector<double>(obs_y_)});
+  ConstantLiarHooks liar;
+  liar.push_lie = [this](const Configuration& config) {
+    if (objective_gp_ == nullptr || !objective_gp_->fitted()) return;
+    // Lie that the pending candidate came back at the incumbent error;
+    // posterior-only refit (no kernel ML) keeps this cheap and exactly
+    // reversible.
+    if (obs::metrics().enabled()) {
+      BoMetrics::get().constant_liar_fills.add(1);
     }
-    proposals.push_back(std::move(config));
-  }
-  if (obs_y_.size() > real_observations) {
+    obs_x_.push_back(space().encode(config));
+    obs_y_.push_back(best_feasible_y_);
+    fit_objective_gp_posterior();
+  };
+  liar.pop_lies = [this, real_observations] {
+    if (obs_y_.size() <= real_observations) return;
     obs_x_.resize(real_observations);
     obs_y_.resize(real_observations);
-    objective_gp_->fit(rows_to_matrix(obs_x_),
-                       linalg::Vector{std::vector<double>(obs_y_)});
-  }
-  return proposals;
+    fit_objective_gp_posterior();
+  };
+  return fill_proposal_batch(
+      run_seed(), first_sample_index, count,
+      [this](stats::Rng& rng) { return propose(rng); },
+      /*exhausted=*/{}, liar);
 }
 
-void BayesOptOptimizer::observe(const EvaluationRecord& record) {
+void BayesOptProposer::fit_objective_gp_posterior() {
+  objective_gp_->fit(rows_to_matrix(obs_x_),
+                     linalg::Vector{std::vector<double>(obs_y_)});
+}
+
+void BayesOptProposer::observe(const EvaluationRecord& record) {
   // Model-filtered samples carry no new information about the objective —
   // the a-priori models already encode their infeasibility.
   if (record.status == EvaluationStatus::ModelFiltered ||
@@ -158,7 +158,7 @@ void BayesOptOptimizer::observe(const EvaluationRecord& record) {
   }
 }
 
-void BayesOptOptimizer::refit_objective_gp() {
+void BayesOptProposer::refit_objective_gp() {
   if (obs_y_.size() < 2) return;
   if (objective_gp_ == nullptr) {
     objective_gp_ = make_gp(space().dimension(), bo_options_.observation_noise);
@@ -217,7 +217,7 @@ void refit_metric_gp(std::unique_ptr<gp::GaussianProcess>& gp_model,
 
 }  // namespace
 
-void BayesOptOptimizer::refit_constraint_gps() {
+void BayesOptProposer::refit_constraint_gps() {
   if (budgets().power_w && obs_power_.size() >= 2) {
     refit_metric_gp(power_gp_, space().dimension(), obs_power_x_, obs_power_);
   }

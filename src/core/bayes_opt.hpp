@@ -7,6 +7,7 @@
 // constraints treatment of prior art).
 
 #include <memory>
+#include <vector>
 
 #include "core/candidate_pool.hpp"
 #include "core/optimizer.hpp"
@@ -30,30 +31,28 @@ struct BayesOptOptions {
   double overhead_per_observation_s = 0.6;
 };
 
-/// GP Bayesian optimizer with a constraint-aware acquisition.
-class BayesOptOptimizer final : public Optimizer {
+/// GP Bayesian proposer with a constraint-aware acquisition.
+class BayesOptProposer final : public Proposer {
  public:
-  BayesOptOptimizer(const HyperParameterSpace& space, Objective& objective,
-                    ConstraintBudgets budgets,
-                    const HardwareConstraints* apriori_constraints,
-                    OptimizerOptions options,
-                    std::unique_ptr<AcquisitionFunction> acquisition,
-                    BayesOptOptions bo_options = {});
+  /// Throws std::invalid_argument on a null acquisition.
+  BayesOptProposer(const HyperParameterSpace& space,
+                   std::unique_ptr<AcquisitionFunction> acquisition,
+                   BayesOptOptions bo_options = {});
 
   [[nodiscard]] std::string name() const override;
-
- protected:
   [[nodiscard]] Configuration propose(stats::Rng& rng) override;
   /// BO proposals mutate sequential state (the constant-liar GP refits), so
-  /// batched rounds are produced up front on the optimizer thread.
+  /// batched rounds are produced up front on the engine thread.
   [[nodiscard]] bool supports_parallel_proposals() const override {
     return false;
   }
-  /// Constant-liar batch: after each in-round proposal, a pseudo-observation
-  /// (candidate, best feasible error so far) is pushed and the objective GP
-  /// posterior refit, so the remaining proposals spread out instead of
-  /// re-picking the same acquisition maximum. The liars are popped and the
-  /// GP restored to the real observations before returning.
+  /// Constant-liar batch via the shared fill_proposal_batch helper
+  /// (core/batch_fill.hpp): after each in-round proposal, a
+  /// pseudo-observation (candidate, best feasible error so far) is pushed
+  /// and the objective GP posterior refit, so the remaining proposals
+  /// spread out instead of re-picking the same acquisition maximum. The
+  /// liars are popped and the GP restored to the real observations before
+  /// returning.
   [[nodiscard]] std::vector<Configuration> propose_batch(
       std::size_t first_sample_index, std::size_t count) override;
   void observe(const EvaluationRecord& record) override;
@@ -62,6 +61,9 @@ class BayesOptOptimizer final : public Optimizer {
  private:
   void refit_objective_gp();
   void refit_constraint_gps();
+  /// Posterior-only refit of the objective GP on the current observation
+  /// store (shared by the observe path and the constant-liar hooks).
+  void fit_objective_gp_posterior();
 
   std::unique_ptr<AcquisitionFunction> acquisition_;
   BayesOptOptions bo_options_;
@@ -80,6 +82,21 @@ class BayesOptOptimizer final : public Optimizer {
   std::unique_ptr<gp::GaussianProcess> objective_gp_;
   std::unique_ptr<gp::GaussianProcess> power_gp_;
   std::unique_ptr<gp::GaussianProcess> memory_gp_;
+};
+
+/// Facade preserving the historic subclass-per-method construction.
+class BayesOptOptimizer final : public Optimizer {
+ public:
+  BayesOptOptimizer(const HyperParameterSpace& space, Objective& objective,
+                    ConstraintBudgets budgets,
+                    const HardwareConstraints* apriori_constraints,
+                    OptimizerOptions options,
+                    std::unique_ptr<AcquisitionFunction> acquisition,
+                    BayesOptOptions bo_options = {})
+      : Optimizer(space, objective, budgets, apriori_constraints,
+                  std::move(options),
+                  std::make_unique<BayesOptProposer>(
+                      space, std::move(acquisition), bo_options)) {}
 };
 
 }  // namespace hp::core

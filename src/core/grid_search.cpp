@@ -1,25 +1,21 @@
 #include "core/grid_search.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 namespace hp::core {
 
-GridSearchOptimizer::GridSearchOptimizer(
-    const HyperParameterSpace& space, Objective& objective,
-    ConstraintBudgets budgets, const HardwareConstraints* apriori_constraints,
-    OptimizerOptions options, GridSearchOptions grid_options)
-    : Optimizer(space, objective, budgets, apriori_constraints,
-                std::move(options)),
+GridSearchProposer::GridSearchProposer(const HyperParameterSpace& space,
+                                       GridSearchOptions grid_options)
+    : Proposer(space),
       grid_options_(grid_options),
       cursor_(space.dimension(), 0) {
   if (grid_options_.levels_per_dimension < 2) {
     throw std::invalid_argument(
-        "GridSearchOptimizer: need >= 2 levels per dimension");
+        "GridSearchProposer: need >= 2 levels per dimension");
   }
 }
 
-std::size_t GridSearchOptimizer::grid_size() const noexcept {
+std::size_t GridSearchProposer::grid_size() const noexcept {
   std::size_t total = 1;
   for (std::size_t d = 0; d < cursor_.size(); ++d) {
     total *= grid_options_.levels_per_dimension;
@@ -27,7 +23,7 @@ std::size_t GridSearchOptimizer::grid_size() const noexcept {
   return total;
 }
 
-Configuration GridSearchOptimizer::propose(stats::Rng& rng) {
+Configuration GridSearchProposer::propose(stats::Rng& rng) {
   (void)rng;  // grid search is fully deterministic
   const std::size_t levels = grid_options_.levels_per_dimension;
   std::vector<double> unit(cursor_.size());
@@ -36,11 +32,13 @@ Configuration GridSearchOptimizer::propose(stats::Rng& rng) {
     unit[d] = (static_cast<double>(cursor_[d]) + 0.5) /
               static_cast<double>(levels);
   }
-  // Advance the lexicographic cursor (with wrap-around).
+  // Advance the lexicographic cursor. Past the last point the cursor wraps
+  // to the start either way; exhausted() decides (from the wrap_around
+  // policy) whether the engine ever asks again.
   for (std::size_t d = cursor_.size(); d-- > 0;) {
     if (++cursor_[d] < levels) break;
     cursor_[d] = 0;
-    if (d == 0) exhausted_once_ = true;
+    if (d == 0) visited_all_ = true;
   }
   return space().decode(unit);
 }

@@ -1,569 +1,31 @@
 #include "core/optimizer.hpp"
 
-#include <cmath>
 #include <stdexcept>
 #include <utility>
-
-#include "obs/obs.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace hp::core {
 
 namespace {
 
-/// Optimizer-loop instruments; process-global, fetched once. Wall-time
-/// histograms measure real phase durations — the virtual clock is charged
-/// separately from modelled costs and is never read here except as an
-/// event field.
-struct OptMetrics {
-  obs::Counter& samples;
-  obs::Counter& function_evaluations;
-  obs::Counter& completed;
-  obs::Counter& model_filtered;
-  obs::Counter& early_terminated;
-  obs::Counter& infeasible;
-  obs::Counter& failed;
-  obs::Counter& measured_violations;
-  obs::Counter& retries;
-  obs::Counter& fallbacks;
-  obs::Counter& rounds;
-  obs::Histogram& propose_s;
-  obs::Histogram& round_evaluate_s;
-  obs::Histogram& merge_s;
-  obs::Histogram& sample_cost_vs;  ///< virtual seconds per sample
-
-  static OptMetrics& get() {
-    obs::MetricsRegistry& m = obs::metrics();
-    static OptMetrics instance{
-        m.counter("optimizer.samples"),
-        m.counter("optimizer.function_evaluations"),
-        m.counter("optimizer.completed"),
-        m.counter("optimizer.model_filtered"),
-        m.counter("optimizer.early_terminated"),
-        m.counter("optimizer.infeasible_architectures"),
-        m.counter("optimizer.failed"),
-        m.counter("optimizer.measured_violations"),
-        m.counter("optimizer.eval_retries"),
-        m.counter("optimizer.sensor_fallbacks"),
-        m.counter("optimizer.rounds"),
-        m.histogram("optimizer.propose_s"),
-        m.histogram("optimizer.round_evaluate_s"),
-        m.histogram("optimizer.merge_s"),
-        m.histogram("optimizer.sample_cost_vs",
-                    obs::exponential_buckets(1.0, 2.0, 14)),
-    };
-    return instance;
+/// Dereferences the strategy during member initialization, so a null
+/// proposer surfaces as a typed exception rather than UB inside the
+/// engine constructor.
+Proposer& checked(const std::unique_ptr<Proposer>& proposer) {
+  if (proposer == nullptr) {
+    throw std::invalid_argument("Optimizer: null proposer");
   }
-};
+  return *proposer;
+}
 
 }  // namespace
 
 Optimizer::Optimizer(const HyperParameterSpace& space, Objective& objective,
                      ConstraintBudgets budgets,
                      const HardwareConstraints* apriori_constraints,
-                     OptimizerOptions options)
-    : space_(space),
-      objective_(objective),
-      budgets_(budgets),
-      apriori_constraints_(apriori_constraints),
-      options_(options) {
-  if (options_.max_samples == 0) {
-    throw std::invalid_argument("Optimizer: max_samples must be > 0");
-  }
-  if (options_.batch_size == 0) {
-    throw std::invalid_argument("Optimizer: batch_size must be > 0");
-  }
-  if (options_.num_threads == 0) {
-    throw std::invalid_argument("Optimizer: num_threads must be > 0");
-  }
-}
-
-const HardwareConstraints* Optimizer::active_constraints() const noexcept {
-  return options_.use_hardware_models ? apriori_constraints_ : nullptr;
-}
-
-std::vector<Configuration> Optimizer::propose_batch(
-    std::size_t first_sample_index, std::size_t count) {
-  std::vector<Configuration> proposals;
-  proposals.reserve(count);
-  for (std::size_t j = 0; j < count; ++j) {
-    stats::Rng rng = sample_rng(first_sample_index + j);
-    proposals.push_back(propose(rng));
-  }
-  return proposals;
-}
-
-void Optimizer::finalize_record(EvaluationRecord& record, RunTrace& trace,
-                                std::size_t& function_evaluations) {
-  // Classify against the *measured* metrics (both modes measure after
-  // training; the default mode just could not avoid the cost).
-  if (record.status == EvaluationStatus::Completed ||
-      record.status == EvaluationStatus::EarlyTerminated) {
-    ++function_evaluations;
-    if (apriori_constraints_ != nullptr) {
-      record.violates_constraints = !apriori_constraints_->measured_feasible(
-          record.measured_power_w, record.measured_memory_mb);
-    } else {
-      HardwareConstraints plain(budgets_, std::nullopt, std::nullopt);
-      record.violates_constraints = !plain.measured_feasible(
-          record.measured_power_w, record.measured_memory_mb);
-    }
-  }
-  record.index = trace.size();
-  record.timestamp_s = objective_.clock().now_s();
-  if (record.counts_for_best() &&
-      (!incumbent_ || record.test_error < incumbent_->test_error)) {
-    incumbent_ = record;
-  }
-  observe_record(record, trace, function_evaluations);
-  observe(record);
-  const bool failed = record.status == EvaluationStatus::Failed;
-  trace.add(std::move(record));
-  // Journal after the record is final (index/timestamp/classification
-  // set): the journal's crash-safety contract is "what it holds can be
-  // replayed verbatim".
-  journal_.append(trace.records().back());
-  if (failed) {
-    ++consecutive_failures_;
-  } else {
-    consecutive_failures_ = 0;
-  }
-}
-
-bool Optimizer::check_abort(Result& result) {
-  const std::size_t limit = options_.retry.max_consecutive_failed_samples;
-  if (limit == 0 || consecutive_failures_ < limit) return false;
-  result.aborted = true;
-  result.abort_reason = "aborted after " +
-                        std::to_string(consecutive_failures_) +
-                        " consecutive failed evaluations";
-  obs::logger().error("optimizer.aborted",
-                      {{"consecutive_failures",
-                        obs::JsonValue(consecutive_failures_)},
-                       {"samples", obs::JsonValue(result.trace.size())}});
-  return true;
-}
-
-void Optimizer::tally_record(const EvaluationRecord& record) {
-  switch (record.status) {
-    case EvaluationStatus::Completed:
-      ++tally_.completed;
-      break;
-    case EvaluationStatus::ModelFiltered:
-      ++tally_.model_filtered;
-      break;
-    case EvaluationStatus::EarlyTerminated:
-      ++tally_.early_terminated;
-      break;
-    case EvaluationStatus::InfeasibleArchitecture:
-      ++tally_.infeasible;
-      break;
-    case EvaluationStatus::Failed:
-      ++tally_.failed;
-      break;
-  }
-  if (record.status == EvaluationStatus::Completed &&
-      record.violates_constraints) {
-    ++tally_.measured_violations;
-  }
-  tally_.retries += record.attempts > 0 ? record.attempts - 1 : 0;
-  if (!record.measured &&
-      (record.measured_power_w || record.measured_memory_mb)) {
-    ++tally_.fallbacks;
-  }
-}
-
-void Optimizer::observe_record(const EvaluationRecord& record,
-                               const RunTrace& trace,
-                               std::size_t function_evaluations) {
-  tally_record(record);
-  const bool measured_violation =
-      record.status == EvaluationStatus::Completed &&
-      record.violates_constraints;
-
-  if (obs::metrics().enabled()) {
-    OptMetrics& m = OptMetrics::get();
-    m.samples.add(1);
-    m.sample_cost_vs.observe(record.cost_s);
-    switch (record.status) {
-      case EvaluationStatus::Completed:
-        m.function_evaluations.add(1);
-        m.completed.add(1);
-        break;
-      case EvaluationStatus::EarlyTerminated:
-        m.function_evaluations.add(1);
-        m.early_terminated.add(1);
-        break;
-      case EvaluationStatus::ModelFiltered:
-        m.model_filtered.add(1);
-        break;
-      case EvaluationStatus::InfeasibleArchitecture:
-        m.infeasible.add(1);
-        break;
-      case EvaluationStatus::Failed:
-        m.failed.add(1);
-        break;
-    }
-    if (measured_violation) m.measured_violations.add(1);
-    if (record.attempts > 1) m.retries.add(record.attempts - 1);
-    if (!record.measured &&
-        (record.measured_power_w || record.measured_memory_mb)) {
-      m.fallbacks.add(1);
-    }
-  }
-
-  obs::Logger& log = obs::logger();
-  if (log.enabled(obs::LogLevel::kDebug)) {
-    log.debug("optimizer.sample",
-              {{"index", obs::JsonValue(record.index)},
-               {"status", obs::JsonValue(to_string(record.status))},
-               {"error", obs::JsonValue(record.test_error)},
-               {"cost_s", obs::JsonValue(record.cost_s)},
-               {"clock_s", obs::JsonValue(record.timestamp_s)},
-               {"attempts", obs::JsonValue(record.attempts)},
-               {"violates", obs::JsonValue(record.violates_constraints)}});
-  }
-  if (log.enabled(obs::LogLevel::kInfo)) {
-    std::vector<obs::LogField> fields{
-        {"samples", obs::JsonValue(trace.size() + 1)},
-        {"evals", obs::JsonValue(function_evaluations)},
-        {"filtered", obs::JsonValue(tally_.model_filtered)},
-        {"early_terminated", obs::JsonValue(tally_.early_terminated)},
-        {"violations", obs::JsonValue(tally_.measured_violations)},
-        {"clock_s", obs::JsonValue(record.timestamp_s)},
-    };
-    if (tally_.failed > 0) {
-      fields.push_back({"failed", obs::JsonValue(tally_.failed)});
-    }
-    if (incumbent_) {
-      fields.push_back({"best_error", obs::JsonValue(incumbent_->test_error)});
-    }
-    if (options_.max_function_evaluations !=
-        std::numeric_limits<std::size_t>::max()) {
-      fields.push_back(
-          {"max_evals", obs::JsonValue(options_.max_function_evaluations)});
-    }
-    if (std::isfinite(options_.max_runtime_s)) {
-      fields.push_back(
-          {"max_runtime_s", obs::JsonValue(options_.max_runtime_s)});
-    }
-    log.info("optimizer.progress", std::move(fields));
-  }
-}
-
-Optimizer::Result Optimizer::run() { return run_impl(nullptr); }
-
-Optimizer::Result Optimizer::resume(
-    const std::vector<EvaluationRecord>& completed) {
-  return run_impl(&completed);
-}
-
-Optimizer::Result Optimizer::run_impl(
-    const std::vector<EvaluationRecord>* replay) {
-  tally_ = RunTally{};
-  incumbent_.reset();
-  consecutive_failures_ = 0;
-  obs::Logger& log = obs::logger();
-  if (log.enabled(obs::LogLevel::kInfo)) {
-    log.info("optimizer.run",
-             {{"method", obs::JsonValue(name())},
-              {"mode", obs::JsonValue(options_.batch_size > 1
-                                          ? std::string("batched")
-                                          : std::string("sequential"))},
-              {"seed", obs::JsonValue(options_.seed)},
-              {"batch_size", obs::JsonValue(options_.batch_size)},
-              {"num_threads", obs::JsonValue(options_.num_threads)},
-              {"resumed", obs::JsonValue(replay != nullptr)}});
-  }
-
-  // Batched mode replays only whole rounds: round r's proposals (and the
-  // constant-liar surrogate state behind them) are a function of rounds
-  // 0..r-1, so a partial round cannot be re-aligned — it is dropped and
-  // re-evaluated instead (index-pure evaluations make the records come
-  // out identical).
-  std::vector<EvaluationRecord> kept;
-  if (replay != nullptr) {
-    kept = *replay;
-    if (options_.batch_size > 1) {
-      kept.resize(kept.size() / options_.batch_size * options_.batch_size);
-    }
-  }
-
-  journal_ = EvalJournal{};
-  if (!options_.journal_path.empty()) {
-    const JournalHeader header{name(), options_.seed, options_.batch_size};
-    journal_ = replay != nullptr
-                   ? EvalJournal::rewrite(options_.journal_path, header, kept)
-                   : EvalJournal::create(options_.journal_path, header);
-  }
-
-  LoopState state;
-  state.rng = stats::Rng(options_.seed);
-  if (!kept.empty()) {
-    replay_records(kept, state);
-    log.info("optimizer.resume",
-             {{"replayed", obs::JsonValue(kept.size())},
-              {"dropped", obs::JsonValue(replay->size() - kept.size())},
-              {"clock_s", obs::JsonValue(objective_.clock().now_s())}});
-  }
-
-  ResilientEvaluator evaluator(objective_, options_.retry, options_.seed);
-  Result result = options_.batch_size > 1
-                      ? run_batched(std::move(state), evaluator)
-                      : run_sequential(std::move(state), evaluator);
-  if (log.enabled(obs::LogLevel::kInfo)) {
-    std::vector<obs::LogField> fields{
-        {"method", obs::JsonValue(name())},
-        {"samples", obs::JsonValue(result.trace.size())},
-        {"completed", obs::JsonValue(tally_.completed)},
-        {"model_filtered", obs::JsonValue(tally_.model_filtered)},
-        {"early_terminated", obs::JsonValue(tally_.early_terminated)},
-        {"infeasible", obs::JsonValue(tally_.infeasible)},
-        {"failed", obs::JsonValue(tally_.failed)},
-        {"retries", obs::JsonValue(tally_.retries)},
-        {"fallbacks", obs::JsonValue(tally_.fallbacks)},
-        {"measured_violations", obs::JsonValue(tally_.measured_violations)},
-        {"aborted", obs::JsonValue(result.aborted)},
-        {"clock_s", obs::JsonValue(objective_.clock().now_s())},
-    };
-    if (result.best) {
-      fields.push_back({"best_error", obs::JsonValue(result.best->test_error)});
-    }
-    log.info("optimizer.done", std::move(fields));
-  }
-  journal_ = EvalJournal{};  // close the file
-  return result;
-}
-
-void Optimizer::replay_one(const EvaluationRecord& record, LoopState& state) {
-  if (record.index != state.result.trace.size()) {
-    throw std::runtime_error(
-        "resume: journal records are not a contiguous prefix (record index " +
-        std::to_string(record.index) + " at position " +
-        std::to_string(state.result.trace.size()) + ")");
-  }
-  Clock& clock = objective_.clock();
-  const double delta = record.timestamp_s - clock.now_s();
-  if (delta > 0.0) clock.advance(delta);
-  if (record.status == EvaluationStatus::Completed ||
-      record.status == EvaluationStatus::EarlyTerminated) {
-    ++state.function_evaluations;
-  }
-  if (record.counts_for_best() &&
-      (!incumbent_ || record.test_error < incumbent_->test_error)) {
-    incumbent_ = record;
-  }
-  tally_record(record);
-  observe(record);
-  state.result.trace.add(record);
-}
-
-void Optimizer::replay_records(const std::vector<EvaluationRecord>& kept,
-                               LoopState& state) {
-  const auto mismatch = [](std::size_t index) {
-    throw std::runtime_error(
-        "resume: replayed proposal diverges from the journal at sample " +
-        std::to_string(index) +
-        " (journal written with different seed/method/options?)");
-  };
-  if (options_.batch_size == 1) {
-    // The sequential loop consumes one propose() per record from a single
-    // shared stream; re-proposing (and discarding) advances the stream and
-    // any method-internal proposal state exactly as the original run did.
-    for (const EvaluationRecord& record : kept) {
-      if (propose(state.rng) != record.config) mismatch(record.index);
-      replay_one(record, state);
-    }
-    return;
-  }
-  std::size_t base = 0;
-  while (base < kept.size()) {
-    const std::size_t count =
-        std::min(options_.batch_size, kept.size() - base);
-    if (!supports_parallel_proposals()) {
-      // Constant-liar proposals mutate sequential method state; re-running
-      // them keeps that state aligned with the original run.
-      const std::vector<Configuration> proposals = propose_batch(base, count);
-      for (std::size_t j = 0; j < count; ++j) {
-        if (proposals[j] != kept[base + j].config) mismatch(base + j);
-      }
-    }
-    // Parallel proposals only *read* shared state (per-sample streams),
-    // so they need no replay; finalize order is all that matters.
-    for (std::size_t j = 0; j < count; ++j) {
-      replay_one(kept[base + j], state);
-    }
-    base += count;
-  }
-}
-
-Optimizer::Result Optimizer::run_sequential(LoopState state,
-                                            ResilientEvaluator& evaluator) {
-  stats::Rng rng = state.rng;
-  Result result = std::move(state.result);
-  Clock& clock = objective_.clock();
-  std::size_t function_evaluations = state.function_evaluations;
-
-  for (std::size_t sample = result.trace.size();
-       sample < options_.max_samples; ++sample) {
-    if (function_evaluations >= options_.max_function_evaluations) break;
-    if (clock.now_s() >= options_.max_runtime_s) break;
-
-    clock.advance(proposal_overhead_s());
-    Configuration config;
-    {
-      obs::ScopedTimer timer("optimize.propose", &OptMetrics::get().propose_s);
-      config = propose(rng);
-    }
-
-    EvaluationRecord record;
-    const HardwareConstraints* constraints =
-        options_.filter_before_training ? active_constraints() : nullptr;
-    bool filtered = false;
-    if (constraints != nullptr) {
-      const std::vector<double> z = space_.structural_vector(config);
-      if (!constraints->predicted_feasible(z)) {
-        record.config = config;
-        record.status = EvaluationStatus::ModelFiltered;
-        record.test_error = 1.0;
-        record.violates_constraints = true;  // violating *by prediction*
-        record.cost_s = options_.model_filter_overhead_s;
-        clock.advance(record.cost_s);
-        filtered = true;
-      }
-    }
-
-    if (!filtered) {
-      const EarlyTerminationRule* rule =
-          options_.use_early_termination ? &options_.early_termination
-                                         : nullptr;
-      ResilientOutcome outcome =
-          evaluator.evaluate(config, rule, sample, /*detached=*/false);
-      record = std::move(outcome.record);
-      record.config = std::move(config);
-    }
-
-    finalize_record(record, result.trace, function_evaluations);
-    if (check_abort(result)) break;
-  }
-
-  result.best = incumbent_;
-  return result;
-}
-
-Optimizer::Result Optimizer::run_batched(LoopState state,
-                                         ResilientEvaluator& evaluator) {
-  Result result = std::move(state.result);
-  Clock& clock = objective_.clock();
-  std::size_t function_evaluations = state.function_evaluations;
-  // Global sample counter = RNG stream index; replayed records occupy
-  // [0, trace.size()).
-  std::size_t next_sample = result.trace.size();
-
-  // num_threads counts the threads doing work; the calling thread
-  // participates in every round, so K threads = K-1 pool workers.
-  parallel::ThreadPool pool(options_.num_threads - 1);
-  const bool concurrent_eval = objective_.supports_concurrent_evaluation();
-  const HardwareConstraints* filter =
-      options_.filter_before_training ? active_constraints() : nullptr;
-  const EarlyTerminationRule* rule =
-      options_.use_early_termination ? &options_.early_termination : nullptr;
-
-  bool stopped = false;
-  while (!stopped && next_sample < options_.max_samples) {
-    if (function_evaluations >= options_.max_function_evaluations) break;
-    if (clock.now_s() >= options_.max_runtime_s) break;
-    const std::size_t round_base = next_sample;
-    const std::size_t count =
-        std::min(options_.batch_size, options_.max_samples - round_base);
-
-    if (obs::metrics().enabled()) OptMetrics::get().rounds.add(1);
-
-    // Phase 1 — proposals. Methods with sequential proposal state
-    // (constant-liar BO) produce the whole round up front on this thread;
-    // the others propose inside the worker tasks.
-    std::vector<Configuration> proposals;
-    if (!supports_parallel_proposals()) {
-      obs::ScopedTimer timer("optimize.propose", &OptMetrics::get().propose_s);
-      proposals = propose_batch(round_base, count);
-    }
-
-    // Phase 2 — generate + filter + evaluate the round concurrently. Each
-    // task depends only on (run seed, its global sample index) and
-    // snapshots of round-constant state, so scheduling order is
-    // irrelevant to the result.
-    struct Slot {
-      EvaluationRecord record;
-      bool deferred_evaluation = false;
-    };
-    std::vector<Slot> slots(count);
-    obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
-                                    &OptMetrics::get().round_evaluate_s);
-    pool.parallel_for(count, [&](std::size_t j) {
-      stats::Rng rng = sample_rng(round_base + j);
-      Configuration config =
-          proposals.empty() ? propose(rng) : std::move(proposals[j]);
-      Slot& slot = slots[j];
-      if (filter != nullptr &&
-          !filter->predicted_feasible(space_.structural_vector(config))) {
-        slot.record.config = std::move(config);
-        slot.record.status = EvaluationStatus::ModelFiltered;
-        slot.record.test_error = 1.0;
-        slot.record.violates_constraints = true;  // violating *by prediction*
-        slot.record.cost_s = options_.model_filter_overhead_s;
-        return;
-      }
-      if (concurrent_eval) {
-        ResilientOutcome outcome =
-            evaluator.evaluate(config, rule, round_base + j,
-                               /*detached=*/true);
-        slot.record = std::move(outcome.record);
-        slot.record.config = std::move(config);
-      } else {
-        // Objective without a detached path (e.g. one driving real
-        // hardware): evaluate during the merge, in sample order — still
-        // deterministic at any thread count, just not overlapped.
-        slot.record.config = std::move(config);
-        slot.deferred_evaluation = true;
-      }
-    });
-    evaluate_timer.stop();
-    next_sample += count;
-
-    obs::ScopedTimer merge_timer("optimize.merge", &OptMetrics::get().merge_s);
-    // Phase 3 — merge in canonical sample order, re-checking the stopping
-    // rules exactly where the sequential loop does (a round crossing a
-    // budget discards its tail, so the trace never depends on batch
-    // scheduling).
-    for (std::size_t j = 0; j < count; ++j) {
-      if (function_evaluations >= options_.max_function_evaluations ||
-          clock.now_s() >= options_.max_runtime_s) {
-        stopped = true;
-        break;
-      }
-      clock.advance(proposal_overhead_s());
-      EvaluationRecord record = std::move(slots[j].record);
-      if (slots[j].deferred_evaluation) {
-        Configuration config = std::move(record.config);
-        ResilientOutcome outcome =
-            evaluator.evaluate(config, rule, round_base + j,
-                               /*detached=*/false);
-        record = std::move(outcome.record);
-        record.config = std::move(config);
-      } else {
-        clock.advance(record.cost_s);
-      }
-      finalize_record(record, result.trace, function_evaluations);
-      if (check_abort(result)) {
-        stopped = true;
-        break;
-      }
-    }
-    merge_timer.stop();
-  }
-
-  result.best = incumbent_;
-  return result;
-}
+                     OptimizerOptions options,
+                     std::unique_ptr<Proposer> proposer)
+    : proposer_(std::move(proposer)),
+      engine_(space, objective, budgets, apriori_constraints,
+              std::move(options), checked(proposer_)) {}
 
 }  // namespace hp::core

@@ -1,83 +1,26 @@
 #pragma once
-// Base optimizer: the sample-query loop shared by all four methods (Rand,
-// Rand-Walk, HW-CWEI, HW-IECI), including the two HyperPower enhancements
-// that can be switched off to obtain the paper's "default" (exhaustive,
-// constraint-unaware) counterparts:
+// Optimizer facade: binds one proposal strategy (core/proposer.hpp) to the
+// evaluation engine (core/evaluation_engine.hpp) and the run recorder
+// behind it. The four methods of the paper — Rand, Rand-Walk, HW-CWEI,
+// HW-IECI (plus the Grid baseline) — are thin subclasses that construct
+// their Proposer; the loop itself, including the two HyperPower
+// enhancements that can be switched off to obtain the paper's "default"
+// (exhaustive, constraint-unaware) counterparts —
 //   1. a-priori constraint filtering through the predictive models, and
-//   2. early termination of diverging candidates.
+//   2. early termination of diverging candidates —
+// lives entirely in EvaluationEngine. Compose Optimizer directly with a
+// custom Proposer to add a new search method without subclassing.
 
-#include <limits>
 #include <memory>
-#include <optional>
 #include <string>
+#include <vector>
 
-#include "core/acquisition.hpp"
-#include "core/objective.hpp"
-#include "core/resilience.hpp"
-#include "core/run_trace.hpp"
-#include "core/search_space.hpp"
-#include "core/trace_io.hpp"
-#include "stats/rng.hpp"
+#include "core/evaluation_engine.hpp"
+#include "core/proposer.hpp"
 
 namespace hp::core {
 
-/// Shared optimizer options.
-struct OptimizerOptions {
-  /// Fixed-evaluations mode: stop after this many *function evaluations*
-  /// (actual trainings; model-filtered samples do not count).
-  std::size_t max_function_evaluations =
-      std::numeric_limits<std::size_t>::max();
-  /// Time-budget mode: stop querying new samples once the clock passes
-  /// this; the in-flight sample is allowed to complete (as in the paper's
-  /// wall-clock experiments).
-  double max_runtime_s = std::numeric_limits<double>::infinity();
-  std::uint64_t seed = 1;
-
-  /// HyperPower enhancement 1: discard candidates the power/memory models
-  /// predict to violate the budgets, before training.
-  bool use_hardware_models = true;
-  /// When false, predicted-violating candidates are still trained (and
-  /// counted as measured violations) while BO acquisitions keep using the
-  /// a-priori models — the regime of the paper's fixed-evaluations
-  /// comparison (Figure 4), where every method pays for its own samples.
-  bool filter_before_training = true;
-  /// HyperPower enhancement 2: abort diverging candidates after a few
-  /// epochs.
-  bool use_early_termination = true;
-  EarlyTerminationRule early_termination{};
-
-  /// Cost charged for generating + model-checking a filtered candidate
-  /// (network prototxt generation plus two dot products, in seconds).
-  double model_filter_overhead_s = 3.0;
-  /// Cost charged when network generation fails outright.
-  double infeasible_arch_overhead_s = 5.0;
-  /// Safety cap on total queried samples per run.
-  std::size_t max_samples = 200000;
-
-  /// Batched evaluation: candidates generated + filtered + evaluated per
-  /// round. 1 selects the classic strictly sequential loop; K > 1 runs
-  /// rounds of K candidates whose records are merged into the trace in
-  /// sample order. Each sample draws from its own RNG stream seeded by
-  /// (seed, sample index), so a batched run is bit-identical at any
-  /// num_threads (but intentionally differs from the batch_size = 1 run,
-  /// which consumes a single sequential stream).
-  std::size_t batch_size = 1;
-  /// Worker threads evaluating a round (used only when batch_size > 1;
-  /// 1 = evaluate the round on the calling thread).
-  std::size_t num_threads = 1;
-
-  /// Resilience: retry/timeout/backoff applied to every evaluation
-  /// (core/resilience.hpp). With the defaults, an objective exception is
-  /// retried up to twice and then recorded as a Failed sample instead of
-  /// aborting the run.
-  RetryPolicy retry{};
-  /// Path of the crash-safe evaluation journal; "" disables journaling.
-  /// Written (fsync'd) as each record completes, so a killed run can
-  /// continue via Optimizer::resume with a bit-identical trace.
-  std::string journal_path;
-};
-
-/// Abstract sequential optimizer.
+/// A proposal strategy bound to the evaluation pipeline.
 class Optimizer {
  public:
   /// @param space the hyper-parameter space.
@@ -86,155 +29,42 @@ class Optimizer {
   /// @param apriori_constraints predictive models + budgets; pass nullptr
   ///        to run without a-priori models (the models are also ignored
   ///        when options.use_hardware_models is false).
+  /// @param proposer the candidate-selection strategy (owned). Throws
+  ///        std::invalid_argument when null.
   Optimizer(const HyperParameterSpace& space, Objective& objective,
             ConstraintBudgets budgets,
             const HardwareConstraints* apriori_constraints,
-            OptimizerOptions options);
+            OptimizerOptions options, std::unique_ptr<Proposer> proposer);
   virtual ~Optimizer() = default;
 
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
-  /// Outcome of a run.
-  struct Result {
-    RunTrace trace;
-    std::optional<EvaluationRecord> best;
-    /// True when the run stopped early because
-    /// retry.max_consecutive_failed_samples candidates in a row failed —
-    /// the environment is persistently broken, not one candidate.
-    bool aborted = false;
-    std::string abort_reason;
-  };
+  /// Outcome of a run (see core/evaluation_engine.hpp).
+  using Result = RunResult;
 
   /// Executes the full optimization loop.
-  [[nodiscard]] Result run();
+  [[nodiscard]] Result run() { return engine_.run(); }
 
-  /// Continues a crashed run: replays @p completed records (journal order)
-  /// as if they had just been evaluated — restoring the clock, RNG streams,
-  /// incumbent, and surrogate state — then resumes the loop, so the final
-  /// trace is bit-identical to an uninterrupted run with the same options.
-  /// In batched mode a trailing partial round is discarded and
-  /// re-evaluated (evaluations are index-pure, so the records come out
-  /// identical). Throws std::runtime_error when the records do not match
-  /// this run's configuration (wrong seed/method/space).
-  [[nodiscard]] Result resume(const std::vector<EvaluationRecord>& completed);
+  /// Continues a crashed run from journal records; see
+  /// EvaluationEngine::resume for the bit-identity contract.
+  [[nodiscard]] Result resume(
+      const std::vector<EvaluationRecord>& completed) {
+    return engine_.resume(completed);
+  }
 
-  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] std::string name() const { return proposer_->name(); }
 
  protected:
-  /// Proposes the next candidate configuration.
-  [[nodiscard]] virtual Configuration propose(stats::Rng& rng) = 0;
-
-  /// True when propose() may run concurrently from worker threads (it only
-  /// reads shared state: the space and the incumbent snapshot). Methods
-  /// whose proposals mutate sequential state (constant-liar BO) return
-  /// false and produce whole rounds through propose_batch instead.
-  [[nodiscard]] virtual bool supports_parallel_proposals() const {
-    return true;
-  }
-
-  /// Proposes @p count candidates for samples [first_sample_index,
-  /// first_sample_index + count) on the calling thread. Only used when
-  /// supports_parallel_proposals() is false. The default loops propose()
-  /// with each sample's own RNG stream.
-  [[nodiscard]] virtual std::vector<Configuration> propose_batch(
-      std::size_t first_sample_index, std::size_t count);
-
-  /// Called after every recorded sample (of any status). Model-based
-  /// methods update their surrogates here.
-  virtual void observe(const EvaluationRecord& record) { (void)record; }
-
-  /// Per-proposal bookkeeping cost charged to the clock, in seconds.
-  /// Model-based methods override this with their (growing) fit cost.
-  [[nodiscard]] virtual double proposal_overhead_s() const { return 0.5; }
-
-  [[nodiscard]] const HyperParameterSpace& space() const noexcept {
-    return space_;
-  }
-  [[nodiscard]] const OptimizerOptions& options() const noexcept {
-    return options_;
-  }
-  [[nodiscard]] const ConstraintBudgets& budgets() const noexcept {
-    return budgets_;
-  }
-  /// The a-priori constraints if present AND enabled, else nullptr.
-  [[nodiscard]] const HardwareConstraints* active_constraints() const noexcept;
-  /// Best feasible record observed so far (shared with subclasses so
-  /// Rand-Walk can center proposals on the incumbent).
-  [[nodiscard]] const std::optional<EvaluationRecord>& incumbent()
-      const noexcept {
-    return incumbent_;
-  }
-
-  /// The per-sample RNG stream of global sample @p sample_index (batched
-  /// mode; stateless split of the run seed).
-  [[nodiscard]] stats::Rng sample_rng(std::size_t sample_index) const {
-    return stats::Rng(stats::stream_seed(options_.seed, sample_index));
+  /// The owned strategy, for subclass facades exposing strategy-specific
+  /// accessors (e.g. GridSearchOptimizer::grid_size).
+  [[nodiscard]] const Proposer& proposer() const noexcept {
+    return *proposer_;
   }
 
  private:
-  /// Mutable loop state threaded from the replay phase into the live loop.
-  struct LoopState {
-    Result result;
-    /// The sequential-mode proposal stream (batched mode derives
-    /// per-sample streams instead and ignores it).
-    stats::Rng rng{1};
-    std::size_t function_evaluations = 0;
-  };
-
-  /// Shared body of run()/resume(): replay (if any), then the live loop.
-  [[nodiscard]] Result run_impl(const std::vector<EvaluationRecord>* replay);
-  [[nodiscard]] Result run_sequential(LoopState state,
-                                      ResilientEvaluator& evaluator);
-  [[nodiscard]] Result run_batched(LoopState state,
-                                   ResilientEvaluator& evaluator);
-  /// Re-applies already-evaluated records: advances the proposal streams /
-  /// method state exactly as the original run did, restores the clock and
-  /// incumbent, and appends to the trace — without invoking the objective.
-  void replay_records(const std::vector<EvaluationRecord>& kept,
-                      LoopState& state);
-  /// Replay tail of one record (clock, counters, incumbent, observe, add).
-  void replay_one(const EvaluationRecord& record, LoopState& state);
-  /// Classifies a trained record against the measured budgets and updates
-  /// the evaluation counter/incumbent — the tail every sample goes through
-  /// in both loops. Also journals the record and tracks the
-  /// consecutive-failure abort counter.
-  void finalize_record(EvaluationRecord& record, RunTrace& trace,
-                       std::size_t& function_evaluations);
-  /// True when the consecutive-failure budget is exhausted; stamps
-  /// @p result and logs the abort.
-  [[nodiscard]] bool check_abort(Result& result);
-
-  /// Running per-status totals of the current run, kept so the per-sample
-  /// observability events are O(1) (RunTrace recomputes its counters by
-  /// scanning). Read-side only: never consulted by the optimization logic.
-  struct RunTally {
-    std::size_t completed = 0;
-    std::size_t model_filtered = 0;
-    std::size_t early_terminated = 0;
-    std::size_t infeasible = 0;
-    std::size_t failed = 0;
-    std::size_t measured_violations = 0;
-    std::size_t retries = 0;
-    std::size_t fallbacks = 0;
-  };
-  /// Counter part of observe_record, shared with the replay path (which
-  /// skips the per-sample events but must keep the tallies right).
-  void tally_record(const EvaluationRecord& record);
-  /// Observability tail of finalize_record: counters + "optimizer.sample"
-  /// / "optimizer.progress" events.
-  void observe_record(const EvaluationRecord& record, const RunTrace& trace,
-                      std::size_t function_evaluations);
-
-  const HyperParameterSpace& space_;
-  Objective& objective_;
-  ConstraintBudgets budgets_;
-  const HardwareConstraints* apriori_constraints_;
-  OptimizerOptions options_;
-  std::optional<EvaluationRecord> incumbent_;
-  RunTally tally_;
-  EvalJournal journal_;
-  std::size_t consecutive_failures_ = 0;
+  std::unique_ptr<Proposer> proposer_;
+  EvaluationEngine engine_;
 };
 
 }  // namespace hp::core

@@ -1,0 +1,15 @@
+#include "core/proposer.hpp"
+
+#include "core/batch_fill.hpp"
+
+namespace hp::core {
+
+std::vector<Configuration> Proposer::propose_batch(
+    std::size_t first_sample_index, std::size_t count) {
+  return fill_proposal_batch(
+      run_seed(), first_sample_index, count,
+      [this](stats::Rng& rng) { return propose(rng); },
+      [this] { return exhausted(); });
+}
+
+}  // namespace hp::core

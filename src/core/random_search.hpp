@@ -1,23 +1,36 @@
 #pragma once
 // Rand (Section 3.5): uniform random search [Bergstra & Bengio 2012], with
-// the HyperPower enhancements applied by the base-class loop when enabled.
+// the HyperPower enhancements applied by the evaluation engine when
+// enabled.
+
+#include <memory>
 
 #include "core/optimizer.hpp"
 
 namespace hp::core {
 
 /// Uniform random candidate selection.
-class RandomSearchOptimizer final : public Optimizer {
+class RandomSearchProposer final : public Proposer {
  public:
-  using Optimizer::Optimizer;
+  using Proposer::Proposer;
 
   [[nodiscard]] std::string name() const override { return "Rand"; }
-
- protected:
   [[nodiscard]] Configuration propose(stats::Rng& rng) override {
     return space().sample(rng);
   }
   [[nodiscard]] double proposal_overhead_s() const override { return 0.5; }
+};
+
+/// Facade preserving the historic subclass-per-method construction.
+class RandomSearchOptimizer final : public Optimizer {
+ public:
+  RandomSearchOptimizer(const HyperParameterSpace& space, Objective& objective,
+                        ConstraintBudgets budgets,
+                        const HardwareConstraints* apriori_constraints,
+                        OptimizerOptions options)
+      : Optimizer(space, objective, budgets, apriori_constraints,
+                  std::move(options),
+                  std::make_unique<RandomSearchProposer>(space)) {}
 };
 
 }  // namespace hp::core

@@ -4,19 +4,15 @@
 
 namespace hp::core {
 
-RandomWalkOptimizer::RandomWalkOptimizer(
-    const HyperParameterSpace& space, Objective& objective,
-    ConstraintBudgets budgets, const HardwareConstraints* apriori_constraints,
-    OptimizerOptions options, RandomWalkOptions walk_options)
-    : Optimizer(space, objective, budgets, apriori_constraints,
-                std::move(options)),
-      walk_options_(walk_options) {
+RandomWalkProposer::RandomWalkProposer(const HyperParameterSpace& space,
+                                       RandomWalkOptions walk_options)
+    : Proposer(space), walk_options_(walk_options) {
   if (walk_options_.sigma0 <= 0.0) {
-    throw std::invalid_argument("RandomWalkOptimizer: sigma0 must be > 0");
+    throw std::invalid_argument("RandomWalkProposer: sigma0 must be > 0");
   }
 }
 
-Configuration RandomWalkOptimizer::propose(stats::Rng& rng) {
+Configuration RandomWalkProposer::propose(stats::Rng& rng) {
   if (!incumbent()) {
     if (walk_options_.uniform_until_incumbent) return space().sample(rng);
     // Walk around the centre of the space until something feasible lands.

@@ -5,6 +5,8 @@
 // that performance is sensitive to the choice of sigma_0 — exposed here as
 // an option (and swept by the ablation bench).
 
+#include <memory>
+
 #include "core/optimizer.hpp"
 
 namespace hp::core {
@@ -17,23 +19,33 @@ struct RandomWalkOptions {
   bool uniform_until_incumbent = true;
 };
 
-/// Gaussian random walk around the best point observed so far.
+/// Gaussian random walk around the best point observed so far (read from
+/// the recorder's incumbent through the run context).
+class RandomWalkProposer final : public Proposer {
+ public:
+  /// Throws std::invalid_argument on a non-positive sigma0.
+  RandomWalkProposer(const HyperParameterSpace& space,
+                     RandomWalkOptions walk_options = {});
+
+  [[nodiscard]] std::string name() const override { return "Rand-Walk"; }
+  [[nodiscard]] Configuration propose(stats::Rng& rng) override;
+  [[nodiscard]] double proposal_overhead_s() const override { return 0.5; }
+
+ private:
+  RandomWalkOptions walk_options_;
+};
+
+/// Facade preserving the historic subclass-per-method construction.
 class RandomWalkOptimizer final : public Optimizer {
  public:
   RandomWalkOptimizer(const HyperParameterSpace& space, Objective& objective,
                       ConstraintBudgets budgets,
                       const HardwareConstraints* apriori_constraints,
                       OptimizerOptions options,
-                      RandomWalkOptions walk_options = {});
-
-  [[nodiscard]] std::string name() const override { return "Rand-Walk"; }
-
- protected:
-  [[nodiscard]] Configuration propose(stats::Rng& rng) override;
-  [[nodiscard]] double proposal_overhead_s() const override { return 0.5; }
-
- private:
-  RandomWalkOptions walk_options_;
+                      RandomWalkOptions walk_options = {})
+      : Optimizer(space, objective, budgets, apriori_constraints,
+                  std::move(options),
+                  std::make_unique<RandomWalkProposer>(space, walk_options)) {}
 };
 
 }  // namespace hp::core

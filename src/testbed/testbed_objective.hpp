@@ -6,7 +6,8 @@
 //  - full training costs minutes of (virtual) GPU time, scaled by the
 //    candidate's computational workload;
 //  - early-terminated candidates pay only the observed epochs;
-//  - model-filtered candidates never reach this objective at all;
+//  - model-filtered candidates never reach this objective at all (the
+//    EvaluationEngine records them without calling evaluate);
 //  - every trained candidate is then profiled for power/memory through the
 //    simulated NVML path (measurement also costs time).
 

@@ -1,0 +1,84 @@
+#include "core/batch_fill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hp::core {
+namespace {
+
+// propose_one that records which RNG stream it was handed by returning the
+// stream's first uniform draw as a one-dimensional "configuration".
+Configuration first_draw(stats::Rng& rng) { return {rng.uniform()}; }
+
+TEST(BatchFill, OneProposalPerSampleStream) {
+  const std::uint64_t seed = 42;
+  const auto batch = fill_proposal_batch(seed, /*first=*/3, /*count=*/4,
+                                         first_draw);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    stats::Rng expected(stats::stream_seed(seed, 3 + j));
+    EXPECT_EQ(batch[j][0], expected.uniform());
+  }
+}
+
+TEST(BatchFill, IndexPure) {
+  // Sample i's proposal is the same whether it arrives in a round of one
+  // or mid-way through a bigger round — the basis of batched determinism.
+  const std::uint64_t seed = 7;
+  const auto big = fill_proposal_batch(seed, 0, 8, first_draw);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto solo = fill_proposal_batch(seed, i, 1, first_draw);
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_EQ(solo[0], big[i]);
+  }
+}
+
+TEST(BatchFill, StopsAtExhaustionWithoutPadding) {
+  int remaining = 2;
+  const auto batch = fill_proposal_batch(
+      1, 0, 5, [&](stats::Rng&) -> Configuration { --remaining; return {0.0}; },
+      [&] { return remaining == 0; });
+  // Two proposals, then exhausted: the short round is returned as-is.
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchFill, ExhaustedCheckedBeforeFirstProposal) {
+  int proposals = 0;
+  const auto batch = fill_proposal_batch(
+      1, 0, 3, [&](stats::Rng&) -> Configuration { ++proposals; return {0.0}; },
+      [] { return true; });
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(proposals, 0);
+}
+
+TEST(BatchFill, LiarPushedBetweenProposalsAndPoppedOnce) {
+  std::vector<Configuration> lies;
+  int pops = 0;
+  ConstantLiarHooks liar;
+  liar.push_lie = [&](const Configuration& c) { lies.push_back(c); };
+  liar.pop_lies = [&] { ++pops; };
+  const auto batch = fill_proposal_batch(9, 0, 3, first_draw, {}, liar);
+  ASSERT_EQ(batch.size(), 3u);
+  // A lie helps only proposals still to come: pushed after proposals 0 and
+  // 1, never after the last.
+  ASSERT_EQ(lies.size(), 2u);
+  EXPECT_EQ(lies[0], batch[0]);
+  EXPECT_EQ(lies[1], batch[1]);
+  EXPECT_EQ(pops, 1);
+}
+
+TEST(BatchFill, NoLieInRoundOfOne) {
+  int pushes = 0;
+  int pops = 0;
+  ConstantLiarHooks liar;
+  liar.push_lie = [&](const Configuration&) { ++pushes; };
+  liar.pop_lies = [&] { ++pops; };
+  const auto batch = fill_proposal_batch(9, 5, 1, first_draw, {}, liar);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(pushes, 0);
+  EXPECT_EQ(pops, 0);  // nothing was pushed, so nothing to pop
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,269 @@
+// Golden-trace regression suite (ISSUE 5). The CSV traces under
+// tests/data/golden/ were captured from the pre-refactor Optimizer loops
+// (run()/run_batched()/resume() as separate code paths); the refactored
+// Proposer / EvaluationEngine / RunRecorder pipeline must reproduce every
+// one of them byte-for-byte:
+//   - every method (Rand, Rand-Walk, HW-IECI, HW-CWEI, Grid)
+//   - batch_size 1 and 4, num_threads 1 and 4 (thread-count invariance
+//     means both thread counts compare against the SAME golden file)
+//   - crash/resume via journal replay (truncate the journal mid-run,
+//     resume on a fresh stack, compare the final trace to the golden)
+// The scenario is deliberately rich: a-priori constraint filtering, early
+// termination of diverging candidates, and deterministic injected faults
+// (retries + Failed records) all appear in the traces.
+//
+// Regenerating (ONLY valid before a behavior-changing commit, by
+// definition): HYPERPOWER_REGEN_GOLDEN=1 ./test_golden_trace
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bayes_opt.hpp"
+#include "core/fault_injection.hpp"
+#include "core/grid_search.hpp"
+#include "core/optimizer.hpp"
+#include "core/random_search.hpp"
+#include "core/random_walk.hpp"
+#include "core/trace_io.hpp"
+#include "fake_objective.hpp"
+
+namespace hp::core {
+namespace {
+
+using testing::FakeObjective;
+using testing::fake_space;
+
+bool regen_mode() {
+  const char* env = std::getenv("HYPERPOWER_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0';
+}
+
+std::string golden_dir() {
+  return std::string(HYPERPOWER_TEST_DATA_DIR) + "/golden";
+}
+
+std::string golden_path(const std::string& key, std::size_t batch) {
+  return golden_dir() + "/" + key + "_b" + std::to_string(batch) + ".csv";
+}
+
+std::string trace_csv(const RunTrace& trace) {
+  std::ostringstream os;
+  trace.write_csv(os);
+  return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ADD_FAILURE() << "cannot open golden file " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+}
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+bool is_bayesian_key(const std::string& key) {
+  return key == "hw_ieci" || key == "hw_cwei";
+}
+
+/// Power model in structural z (= unit a, scaled by 100 in the fake
+/// objective): P(z) = 100 * z, 60 W budget => a <= 0.6 predicted feasible.
+HardwareConstraints golden_constraints() {
+  ConstraintBudgets budgets;
+  budgets.power_w = 60.0;
+  return HardwareConstraints(
+      budgets,
+      HardwareModel(ModelForm::Linear, linalg::Vector{100.0}, 0.0, 0.5),
+      std::nullopt);
+}
+
+OptimizerOptions golden_options(const std::string& key, std::size_t batch,
+                                std::size_t threads) {
+  OptimizerOptions opt;
+  opt.seed = 21;
+  opt.batch_size = batch;
+  opt.num_threads = threads;
+  opt.retry.max_attempts = 3;
+  opt.retry.backoff_initial_s = 5.0;
+  opt.retry.backoff_jitter = 0.1;
+  if (key == "grid") {
+    // 3 levels x 2 dims = 9 points; stop exactly at the full grid so the
+    // golden never depends on the wrap-vs-stop exhaustion policy.
+    opt.max_samples = 9;
+  } else if (is_bayesian_key(key)) {
+    opt.max_function_evaluations = 8;
+    opt.max_samples = 48;
+  } else {
+    opt.max_function_evaluations = 12;
+    opt.max_samples = 60;
+  }
+  return opt;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& key,
+                                          const HyperParameterSpace& space,
+                                          Objective& objective,
+                                          const HardwareConstraints& constraints,
+                                          OptimizerOptions opt) {
+  const ConstraintBudgets budgets = constraints.budgets();
+  if (key == "rand") {
+    return std::make_unique<RandomSearchOptimizer>(space, objective, budgets,
+                                                   &constraints, opt);
+  }
+  if (key == "rand_walk") {
+    return std::make_unique<RandomWalkOptimizer>(space, objective, budgets,
+                                                 &constraints, opt);
+  }
+  if (key == "grid") {
+    GridSearchOptions grid;
+    grid.levels_per_dimension = 3;
+    return std::make_unique<GridSearchOptimizer>(space, objective, budgets,
+                                                 &constraints, opt, grid);
+  }
+  BayesOptOptions bo;
+  bo.initial_design = 3;
+  bo.pool.lattice_points = 120;
+  bo.pool.random_points = 60;
+  std::unique_ptr<AcquisitionFunction> acquisition;
+  if (key == "hw_ieci") {
+    acquisition = std::make_unique<HwIeciAcquisition>();
+  } else if (key == "hw_cwei") {
+    acquisition = std::make_unique<HwCweiAcquisition>();
+  } else {
+    ADD_FAILURE() << "unknown method key " << key;
+  }
+  return std::make_unique<BayesOptOptimizer>(space, objective, budgets,
+                                             &constraints, opt,
+                                             std::move(acquisition), bo);
+}
+
+FaultSpec golden_faults() {
+  FaultSpec faults;
+  faults.failure_rate = 0.15;
+  faults.seed = 909;
+  return faults;
+}
+
+/// One full fresh-stack run; returns the result (objective torn down after).
+Optimizer::Result run_once(const std::string& key, std::size_t batch,
+                           std::size_t threads,
+                           const std::string& journal_path = "") {
+  const HyperParameterSpace space = fake_space();
+  const HardwareConstraints constraints = golden_constraints();
+  FakeObjective inner(space);
+  inner.set_diverge_above(0.55);
+  FaultInjectingObjective faulty(inner, golden_faults());
+  OptimizerOptions opt = golden_options(key, batch, threads);
+  opt.journal_path = journal_path;
+  auto optimizer = make_optimizer(key, space, faulty, constraints, opt);
+  return optimizer->run();
+}
+
+void check_or_regen(const std::string& key, std::size_t batch) {
+  const std::string path = golden_path(key, batch);
+  if (regen_mode()) {
+    const Optimizer::Result result = run_once(key, batch, /*threads=*/1);
+    write_file(path, trace_csv(result.trace));
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty()) << path;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(key + " batch=" + std::to_string(batch) +
+                 " threads=" + std::to_string(threads));
+    const Optimizer::Result result = run_once(key, batch, threads);
+    EXPECT_EQ(trace_csv(result.trace), golden);
+  }
+}
+
+/// Journal the run, "crash" it by truncating to @p keep records, resume on
+/// a completely fresh stack, and require the final trace to still match
+/// the golden byte-for-byte.
+void check_resume(const std::string& key, std::size_t batch,
+                  std::size_t threads, std::size_t keep) {
+  if (regen_mode()) GTEST_SKIP() << "regen mode: goldens only";
+  SCOPED_TRACE(key + " batch=" + std::to_string(batch) +
+               " threads=" + std::to_string(threads) +
+               " keep=" + std::to_string(keep));
+  const std::string golden = read_file(golden_path(key, batch));
+  const std::string full_journal =
+      temp_path("golden_" + key + "_b" + std::to_string(batch) + "_full.hpj");
+  const Optimizer::Result full = run_once(key, batch, threads, full_journal);
+  ASSERT_EQ(trace_csv(full.trace), golden);
+  ASSERT_GT(full.trace.size(), keep);
+
+  JournalLoadResult crashed = EvalJournal::load(full_journal);
+  ASSERT_GE(crashed.records.size(), keep);
+  crashed.records.resize(keep);
+
+  const std::string resumed_journal = temp_path(
+      "golden_" + key + "_b" + std::to_string(batch) + "_resumed.hpj");
+  const HyperParameterSpace space = fake_space();
+  const HardwareConstraints constraints = golden_constraints();
+  FakeObjective inner(space);
+  inner.set_diverge_above(0.55);
+  FaultInjectingObjective faulty(inner, golden_faults());
+  OptimizerOptions opt = golden_options(key, batch, threads);
+  opt.journal_path = resumed_journal;
+  auto optimizer = make_optimizer(key, space, faulty, constraints, opt);
+  const Optimizer::Result resumed = optimizer->resume(crashed.records);
+  EXPECT_EQ(trace_csv(resumed.trace), golden);
+
+  std::remove(full_journal.c_str());
+  std::remove(resumed_journal.c_str());
+}
+
+TEST(GoldenTrace, Rand_Batch1) { check_or_regen("rand", 1); }
+TEST(GoldenTrace, Rand_Batch4) { check_or_regen("rand", 4); }
+TEST(GoldenTrace, RandWalk_Batch1) { check_or_regen("rand_walk", 1); }
+TEST(GoldenTrace, RandWalk_Batch4) { check_or_regen("rand_walk", 4); }
+TEST(GoldenTrace, HwIeci_Batch1) { check_or_regen("hw_ieci", 1); }
+TEST(GoldenTrace, HwIeci_Batch4) { check_or_regen("hw_ieci", 4); }
+TEST(GoldenTrace, HwCwei_Batch1) { check_or_regen("hw_cwei", 1); }
+TEST(GoldenTrace, HwCwei_Batch4) { check_or_regen("hw_cwei", 4); }
+TEST(GoldenTrace, Grid_Batch1) { check_or_regen("grid", 1); }
+TEST(GoldenTrace, Grid_Batch4) { check_or_regen("grid", 4); }
+
+TEST(GoldenTrace, Resume_Rand_Sequential) { check_resume("rand", 1, 1, 5); }
+TEST(GoldenTrace, Resume_Rand_BatchedParallel) {
+  check_resume("rand", 4, 4, 6);  // 6 is mid-round: partial round dropped
+}
+TEST(GoldenTrace, Resume_RandWalk_Sequential) {
+  check_resume("rand_walk", 1, 1, 5);
+}
+TEST(GoldenTrace, Resume_RandWalk_BatchedParallel) {
+  check_resume("rand_walk", 4, 4, 6);
+}
+TEST(GoldenTrace, Resume_HwIeci_Sequential) { check_resume("hw_ieci", 1, 1, 4); }
+TEST(GoldenTrace, Resume_HwIeci_BatchedParallel) {
+  check_resume("hw_ieci", 4, 4, 6);
+}
+TEST(GoldenTrace, Resume_HwCwei_Sequential) { check_resume("hw_cwei", 1, 1, 4); }
+TEST(GoldenTrace, Resume_HwCwei_BatchedParallel) {
+  check_resume("hw_cwei", 4, 4, 6);
+}
+TEST(GoldenTrace, Resume_Grid_Sequential) { check_resume("grid", 1, 1, 5); }
+TEST(GoldenTrace, Resume_Grid_BatchedParallel) {
+  check_resume("grid", 4, 4, 6);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -79,12 +79,51 @@ TEST(GridSearch, WrapsAroundWhenBudgetOutlastsGrid) {
   FakeObjective obj(space, 1.0);
   GridSearchOptions grid;
   grid.levels_per_dimension = 2;  // 4 points
+  grid.wrap_around = true;        // opt back into the historic revisiting
   GridSearchOptimizer gs(space, obj, {}, nullptr, fixed_evals(10), grid);
   const auto result = gs.run();
   EXPECT_EQ(result.trace.size(), 10u);
   // Points 0 and 4 coincide (wrap-around).
   EXPECT_EQ(result.trace.records()[0].config,
             result.trace.records()[4].config);
+}
+
+TEST(GridSearch, StopsAtExhaustionByDefault) {
+  auto space = fake_space();
+  FakeObjective obj(space, 1.0);
+  GridSearchOptions grid;
+  grid.levels_per_dimension = 2;  // 4 points
+  GridSearchOptimizer gs(space, obj, {}, nullptr, fixed_evals(10), grid);
+  const auto result = gs.run();
+  // Budget allows 10 evaluations, but the grid only has 4 distinct points:
+  // the proposer reports exhausted() and the run ends without repeats.
+  EXPECT_EQ(result.trace.size(), 4u);
+  EXPECT_TRUE(gs.exhausted());
+  std::set<std::pair<double, double>> visited;
+  for (const auto& r : result.trace.records()) {
+    visited.insert({r.config[0], r.config[1]});
+  }
+  EXPECT_EQ(visited.size(), 4u);
+}
+
+TEST(GridSearch, FinalShortBatchIsTruncatedNotPadded) {
+  auto space = fake_space();
+  FakeObjective obj(space, 1.0);
+  GridSearchOptions grid;
+  grid.levels_per_dimension = 3;  // 9 points
+  OptimizerOptions opt = fixed_evals(20);
+  opt.batch_size = 4;  // rounds of 4: 4 + 4 + (short) 1
+  GridSearchOptimizer gs(space, obj, {}, nullptr, opt, grid);
+  const auto result = gs.run();
+  // Previously the 3rd round was padded to 4 by wrapping the cursor and
+  // re-proposing already-visited points; now it is truncated to the one
+  // remaining grid point.
+  EXPECT_EQ(result.trace.size(), 9u);
+  std::set<std::pair<double, double>> visited;
+  for (const auto& r : result.trace.records()) {
+    visited.insert({r.config[0], r.config[1]});
+  }
+  EXPECT_EQ(visited.size(), 9u);  // every point exactly once, no repeats
 }
 
 TEST(GridSearch, CoarseGridMissesSharpOptimum) {

@@ -132,7 +132,7 @@ class ObsScope {
 };
 
 /// Live one-line progress renderer for `optimize`: consumes the
-/// "optimizer.progress" events the optimizer emits per sample and redraws
+/// "optimizer.progress" events the run recorder emits per sample and redraws
 /// a single \r-terminated stderr line (evals, filtered count, best error,
 /// ETA from the fraction of the evaluation/time budget consumed).
 class ProgressSink final : public obs::LogSink {
@@ -380,7 +380,7 @@ int cmd_optimize(const cli::Args& args) {
       testbed_options);
 
   // Optional deterministic fault injection around the objective; the
-  // framework and optimizer only ever see the wrapper.
+  // framework and evaluation engine only ever see the wrapper.
   std::unique_ptr<core::FaultInjectingObjective> faulty;
   core::Objective* search_objective = &objective;
   if (const double fault_rate = args.get_double_or("fault-rate", 0.0);

@@ -20,6 +20,15 @@ Rules (see DESIGN.md §10 for rationale and how to add one):
                         counter or degraded flag, or a typed error
                         return). The fault-tolerance layer depends on no
                         evaluation or sensor failure vanishing silently.
+  raw-objective-evaluate
+                        In library code (src/), Objective::evaluate /
+                        evaluate_detached may only be invoked by the
+                        evaluation pipeline (EvaluationEngine through
+                        ResilientEvaluator) and the objective decorators —
+                        every production evaluation must pass through the
+                        retry/journal/recording path (DESIGN.md §12).
+                        Hardware cost-model evaluate() calls and tests are
+                        exempt.
   pragma-once           Every header starts with #pragma once.
   self-include-first    A library .cpp includes its own header first, so
                         each header proves it is self-contained.
@@ -176,6 +185,41 @@ def check_failure_recording(path, root, lines, findings):
             "typed error return)"))
 
 
+# Member calls to evaluate()/evaluate_detached() — the raw objective entry
+# points. Declarations/overrides don't match (no receiver).
+OBJECTIVE_EVALUATE_RE = re.compile(r"(?:\.|->)\s*evaluate(?:_detached)?\s*\(")
+# The sanctioned callers: the engine (through ResilientEvaluator), the
+# retry wrapper itself, the fault-injection decorator, and Objective's own
+# default-method implementations.
+OBJECTIVE_EVALUATE_ALLOWLIST = (
+    ("src", "core", "evaluation_engine.cpp"),
+    ("src", "core", "resilience.cpp"),
+    ("src", "core", "fault_injection.cpp"),
+    ("src", "core", "objective.cpp"),
+)
+
+
+def check_raw_objective_evaluate(path, root, lines, findings):
+    if not in_dir(path, root, "src"):
+        return
+    if any(in_dir(path, root, *parts)
+           for parts in OBJECTIVE_EVALUATE_ALLOWLIST):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if not OBJECTIVE_EVALUATE_RE.search(line):
+            continue
+        # Hardware cost models share the method name (cost_model().evaluate)
+        # but are cheap analytic queries, not objective evaluations.
+        if "cost_model" in line:
+            continue
+        findings.append(Finding(
+            path, lineno, "raw-objective-evaluate",
+            "Objective::evaluate/evaluate_detached must go through the "
+            "EvaluationEngine pipeline (ResilientEvaluator) so every "
+            "evaluation is retried, journaled, and recorded"))
+
+
 def check_pragma_once(path, root, lines, findings):
     if path.suffix not in {".hpp", ".h"}:
         return
@@ -242,6 +286,7 @@ CHECKS = (
     check_library_io,
     check_exception_swallow,
     check_failure_recording,
+    check_raw_objective_evaluate,
     check_pragma_once,
     check_includes,
 )
