@@ -43,7 +43,28 @@ void BM_CholeskyFactorization(benchmark::State& state) {
     benchmark::DoNotOptimize(chol.log_det());
   }
 }
-BENCHMARK(BM_CholeskyFactorization)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_CholeskyFactorization)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CholeskyExtend(benchmark::State& state) {
+  // One bordered O(n^2) update — the per-round factor cost of the
+  // incremental GP refit path, vs BM_CholeskyFactorization's O(n^3).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix b = random_inputs(n + 1, n + 1, 1);
+  linalg::Matrix full = b * b.transposed();
+  full.add_to_diagonal(static_cast<double>(n + 1));
+  linalg::Matrix base(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) base(i, j) = full(i, j);
+  }
+  linalg::Vector row(n);
+  for (std::size_t j = 0; j < n; ++j) row[j] = full(n, j);
+  const linalg::Cholesky chol(base);
+  for (auto _ : state) {
+    auto ext = chol.extended(row, full(n, n));
+    benchmark::DoNotOptimize(ext->log_det());
+  }
+}
+BENCHMARK(BM_CholeskyExtend)->Arg(50)->Arg(100)->Arg(200);
 
 void BM_GpFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -58,6 +79,47 @@ void BM_GpFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpFit)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_GpRefitFull(benchmark::State& state) {
+  // From-scratch refit baseline: a fresh GP each iteration can never take
+  // an incremental path (Gram + O(n^3) factorization every time).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_inputs(n, 6, 2);
+  const auto y = random_targets(n, 3);
+  gp::KernelParams params;
+  params.length_scales = {0.3};
+  for (auto _ : state) {
+    gp::GaussianProcess gp(gp::Matern52Kernel(params), 1e-4);
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.num_observations());
+  }
+}
+BENCHMARK(BM_GpRefitFull)->Arg(100)->Arg(200);
+
+void BM_GpRefitIncremental(benchmark::State& state) {
+  // One BO round on a persistent GP: append an observation (extension
+  // path), then pop it (truncation path) — two O(n^2) refits per
+  // iteration. tracked.json pins BM_GpRefitFull/200 over this at >= 5x.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x_plus = random_inputs(n + 1, 6, 2);
+  const auto y_plus = random_targets(n + 1, 3);
+  linalg::Matrix x_base(n, 6);
+  linalg::Vector y_base(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) x_base(i, j) = x_plus(i, j);
+    y_base[i] = y_plus[i];
+  }
+  gp::KernelParams params;
+  params.length_scales = {0.3};
+  gp::GaussianProcess gp(gp::Matern52Kernel(params), 1e-4);
+  gp.fit(x_base, y_base);
+  for (auto _ : state) {
+    gp.fit(x_plus, y_plus);
+    gp.fit(x_base, y_base);
+    benchmark::DoNotOptimize(gp.num_observations());
+  }
+}
+BENCHMARK(BM_GpRefitIncremental)->Arg(100)->Arg(200);
 
 void BM_GpPredict(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -12,7 +12,9 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/hw_models.hpp"
 #include "core/search_space.hpp"
@@ -92,6 +94,15 @@ struct AcquisitionContext {
   const gp::GaussianProcess* measured_memory_gp = nullptr;
 };
 
+/// Reusable GP-prediction buffers for block scoring: one scratch per GP the
+/// acquisition may consult. Owned by the caller (one per maximization round)
+/// so a whole candidate block amortizes every allocation.
+struct AcquisitionScratch {
+  gp::PredictScratch objective;
+  gp::PredictScratch power;
+  gp::PredictScratch memory;
+};
+
 /// Acquisition function interface: score a candidate in unit coordinates
 /// (higher is better; the maximizer is the next sample).
 class AcquisitionFunction {
@@ -100,6 +111,20 @@ class AcquisitionFunction {
   [[nodiscard]] virtual double score(const std::vector<double>& unit_x,
                                      const Configuration& config,
                                      const AcquisitionContext& ctx) const = 0;
+
+  /// Scores a whole candidate block into @p out (out[i] = score of
+  /// candidate i), reusing @p scratch buffers across candidates. The base
+  /// implementation is a scalar loop over score(); the built-in acquisitions
+  /// override it with allocation-free loops over the span-based GP predict.
+  /// Per-candidate arithmetic is identical either way: for any candidate,
+  /// score_block()[i] == score(unit_xs[i], configs[i], ctx) bit-for-bit.
+  /// Matching span sizes are an HP_REQUIRE contract.
+  virtual void score_block(std::span<const std::vector<double>> unit_xs,
+                           std::span<const Configuration> configs,
+                           const AcquisitionContext& ctx,
+                           AcquisitionScratch& scratch,
+                           std::span<double> out) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -109,6 +134,10 @@ class ExpectedImprovementAcquisition final : public AcquisitionFunction {
   [[nodiscard]] double score(const std::vector<double>& unit_x,
                              const Configuration& config,
                              const AcquisitionContext& ctx) const override;
+  void score_block(std::span<const std::vector<double>> unit_xs,
+                   std::span<const Configuration> configs,
+                   const AcquisitionContext& ctx, AcquisitionScratch& scratch,
+                   std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "EI"; }
 };
 
@@ -120,6 +149,10 @@ class HwIeciAcquisition final : public AcquisitionFunction {
   [[nodiscard]] double score(const std::vector<double>& unit_x,
                              const Configuration& config,
                              const AcquisitionContext& ctx) const override;
+  void score_block(std::span<const std::vector<double>> unit_xs,
+                   std::span<const Configuration> configs,
+                   const AcquisitionContext& ctx, AcquisitionScratch& scratch,
+                   std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "HW-IECI"; }
 };
 
@@ -131,6 +164,10 @@ class HwCweiAcquisition final : public AcquisitionFunction {
   [[nodiscard]] double score(const std::vector<double>& unit_x,
                              const Configuration& config,
                              const AcquisitionContext& ctx) const override;
+  void score_block(std::span<const std::vector<double>> unit_xs,
+                   std::span<const Configuration> configs,
+                   const AcquisitionContext& ctx, AcquisitionScratch& scratch,
+                   std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "HW-CWEI"; }
 };
 

@@ -1,5 +1,6 @@
 #include "core/candidate_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "stats/halton.hpp"
@@ -12,6 +13,9 @@ CandidatePool::CandidatePool(const HyperParameterSpace& space,
   if (options_.lattice_points + options_.random_points == 0) {
     throw std::invalid_argument("CandidatePool: empty pool");
   }
+  if (options_.score_block_size == 0) {
+    throw std::invalid_argument("CandidatePool: score_block_size must be >= 1");
+  }
   if (options_.lattice_points > 0) {
     stats::HaltonSequence halton(space_.dimension(), options_.lattice_seed);
     lattice_ = halton.take(options_.lattice_points);
@@ -20,39 +24,78 @@ CandidatePool::CandidatePool(const HyperParameterSpace& space,
 
 CandidatePool::Maximizer CandidatePool::maximize(
     const AcquisitionFunction& acquisition, const AcquisitionContext& ctx,
-    stats::Rng& rng) const {
+    stats::Rng& rng) {
+  const std::size_t num_lattice = lattice_.size();
+  const std::size_t total = num_lattice + options_.random_points;
+
+  // Draw every random candidate up front. The historical scalar path
+  // interleaved the draws with scoring, but scoring consumes no RNG, so the
+  // draw sequence — and therefore every trace — is unchanged.
+  random_units_.resize(options_.random_points);
+  for (auto& unit : random_units_) {
+    unit.resize(space_.dimension());
+    for (double& u : unit) u = rng.uniform();
+  }
+
+  // Decode all candidates, then score them block by block through the
+  // batched acquisition path (one virtual call per block instead of per
+  // candidate, with shared GP-prediction scratch).
+  configs_.resize(total);
+  scores_.resize(total);
+  for (std::size_t i = 0; i < num_lattice; ++i) {
+    configs_[i] = space_.decode(lattice_[i]);
+  }
+  for (std::size_t i = 0; i < options_.random_points; ++i) {
+    configs_[num_lattice + i] = space_.decode(random_units_[i]);
+  }
+  const auto score_range = [&](std::span<const std::vector<double>> units,
+                               std::size_t offset) {
+    for (std::size_t begin = 0; begin < units.size();
+         begin += options_.score_block_size) {
+      const std::size_t count =
+          std::min(options_.score_block_size, units.size() - begin);
+      acquisition.score_block(
+          units.subspan(begin, count),
+          std::span<const Configuration>(configs_).subspan(offset + begin,
+                                                           count),
+          ctx, scratch_,
+          std::span<double>(scores_).subspan(offset + begin, count));
+    }
+  };
+  score_range(lattice_, 0);
+  score_range(random_units_, num_lattice);
+
+  // Selection replays candidates strictly in index order with the exact
+  // historical state machine. Strict > means equal scores keep the earlier
+  // candidate: the lowest-index tie-break pinned by the maximize() contract.
   Maximizer best;
   best.score = -1.0;
   Maximizer fallback;  // highest feasibility probability among zero-scorers
   double fallback_prob = -1.0;
-
-  const auto consider = [&](const std::vector<double>& unit) {
-    Configuration config = space_.decode(unit);
-    const double score = acquisition.score(unit, config, ctx);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::vector<double>& unit =
+        i < num_lattice ? lattice_[i] : random_units_[i - num_lattice];
+    const double score = scores_[i];
     ++best.evaluated;
     if (score > best.score) {
       best.score = score;
       best.unit = unit;
-      best.config = std::move(config);
-      return;
+      best.config = configs_[i];
+      continue;
     }
     if (best.score <= 0.0 && ctx.constraints != nullptr) {
       // Track a constraint-respecting fallback in case nothing scores > 0.
-      const std::vector<double> z = ctx.space.structural_vector(config);
+      // (Kept operation-for-operation equal to the pre-blocked scalar loop:
+      // a candidate that *raises* best.score to 0 is deliberately not
+      // considered as a fallback, exactly as before.)
+      const std::vector<double> z = ctx.space.structural_vector(configs_[i]);
       const double prob = ctx.constraints->feasibility_probability(z);
       if (prob > fallback_prob) {
         fallback_prob = prob;
         fallback.unit = unit;
-        fallback.config = std::move(config);
+        fallback.config = configs_[i];
       }
     }
-  };
-
-  for (const auto& unit : lattice_) consider(unit);
-  for (std::size_t i = 0; i < options_.random_points; ++i) {
-    std::vector<double> unit(space_.dimension());
-    for (double& u : unit) u = rng.uniform();
-    consider(unit);
   }
 
   if (best.score <= 0.0 && !fallback.unit.empty()) {

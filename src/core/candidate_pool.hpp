@@ -18,6 +18,10 @@ struct CandidatePoolOptions {
   std::size_t lattice_points = 600;  ///< Halton lattice size
   std::size_t random_points = 400;   ///< fresh uniform candidates per call
   std::uint64_t lattice_seed = 99;
+  /// Candidates handed to AcquisitionFunction::score_block per call. Purely
+  /// a performance knob (cache-sized chunks); any value >= 1 produces
+  /// identical results.
+  std::size_t score_block_size = 128;
 };
 
 /// Generates candidate unit-cube points for acquisition maximization.
@@ -44,14 +48,34 @@ class CandidatePool {
   /// pool is predicted-infeasible under HW-IECI), returns the
   /// highest-feasibility random candidate instead, so the optimizer always
   /// has a next point.
+  ///
+  /// Candidates are scored through AcquisitionFunction::score_block in
+  /// chunks of options.score_block_size, reusing round-scoped buffers, but
+  /// the selection itself replays the candidates strictly in order: lattice
+  /// first, then random candidates in generation order. Equal scores break
+  /// toward the LOWEST candidate index — a pinned tie-breaking contract
+  /// (see tests/core/acquisition_test.cpp) that keeps traces reproducible
+  /// across the scalar and blocked scoring paths.
+  ///
+  /// Non-const: reuses internal scratch buffers across rounds. Results are
+  /// independent of any prior call.
   [[nodiscard]] Maximizer maximize(const AcquisitionFunction& acquisition,
                                    const AcquisitionContext& ctx,
-                                   stats::Rng& rng) const;
+                                   stats::Rng& rng);
 
  private:
   const HyperParameterSpace& space_;
   CandidatePoolOptions options_;
   std::vector<std::vector<double>> lattice_;
+
+  // Round-scoped buffers reused across maximize() calls: fresh random
+  // units, decoded configurations (lattice + random), per-candidate scores,
+  // and GP-prediction scratch. Sized once per round; inner vectors keep
+  // their capacity between rounds.
+  std::vector<std::vector<double>> random_units_;
+  std::vector<Configuration> configs_;
+  std::vector<double> scores_;
+  AcquisitionScratch scratch_;
 };
 
 }  // namespace hp::core

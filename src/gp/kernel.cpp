@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hp::gp {
 
 void KernelParams::validate() const {
@@ -27,7 +29,7 @@ double KernelParams::length_scale(std::size_t d) const {
   return length_scales[d];
 }
 
-double ard_distance(const linalg::Vector& a, const linalg::Vector& b,
+double ard_distance(std::span<const double> a, std::span<const double> b,
                     const KernelParams& params) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("ard_distance: dimension mismatch");
@@ -45,13 +47,19 @@ double ard_distance(const linalg::Vector& a, const linalg::Vector& b,
   return std::sqrt(r2);
 }
 
+double ard_distance(const linalg::Vector& a, const linalg::Vector& b,
+                    const KernelParams& params) {
+  return ard_distance(std::span<const double>(a.raw()),
+                      std::span<const double>(b.raw()), params);
+}
+
 SquaredExponentialKernel::SquaredExponentialKernel(KernelParams params)
     : params_(std::move(params)) {
   params_.validate();
 }
 
-double SquaredExponentialKernel::operator()(const linalg::Vector& a,
-                                            const linalg::Vector& b) const {
+double SquaredExponentialKernel::eval(std::span<const double> a,
+                                      std::span<const double> b) const {
   const double r = ard_distance(a, b, params_);
   return params_.signal_variance * std::exp(-0.5 * r * r);
 }
@@ -74,8 +82,8 @@ Matern32Kernel::Matern32Kernel(KernelParams params)
   params_.validate();
 }
 
-double Matern32Kernel::operator()(const linalg::Vector& a,
-                                  const linalg::Vector& b) const {
+double Matern32Kernel::eval(std::span<const double> a,
+                            std::span<const double> b) const {
   const double r = ard_distance(a, b, params_);
   const double s = std::sqrt(3.0) * r;
   return params_.signal_variance * (1.0 + s) * std::exp(-s);
@@ -98,8 +106,8 @@ Matern52Kernel::Matern52Kernel(KernelParams params)
   params_.validate();
 }
 
-double Matern52Kernel::operator()(const linalg::Vector& a,
-                                  const linalg::Vector& b) const {
+double Matern52Kernel::eval(std::span<const double> a,
+                            std::span<const double> b) const {
   const double r = ard_distance(a, b, params_);
   const double s = std::sqrt(5.0) * r;
   return params_.signal_variance * (1.0 + s + s * s / 3.0) * std::exp(-s);
@@ -121,10 +129,10 @@ linalg::Matrix kernel_matrix(const Kernel& k, const linalg::Matrix& x) {
   const std::size_t n = x.rows();
   linalg::Matrix out(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    const linalg::Vector xi = x.row(i);
+    const std::span<const double> xi = x.row_span(i);
     out(i, i) = k.diagonal_value();
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = k(xi, x.row(j));
+      const double v = k.eval(xi, x.row_span(j));
       out(i, j) = v;
       out(j, i) = v;
     }
@@ -135,10 +143,18 @@ linalg::Matrix kernel_matrix(const Kernel& k, const linalg::Matrix& x) {
 linalg::Vector kernel_cross(const Kernel& k, const linalg::Matrix& x,
                             const linalg::Vector& x_star) {
   linalg::Vector out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    out[i] = k(x.row(i), x_star);
-  }
+  kernel_cross_into(k, x, std::span<const double>(x_star.raw()),
+                    std::span<double>(out.raw()));
   return out;
+}
+
+void kernel_cross_into(const Kernel& k, const linalg::Matrix& x,
+                       std::span<const double> x_star, std::span<double> out) {
+  HP_REQUIRE(out.size() == x.rows(),
+             "kernel_cross_into: output size must match the row count");
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = k.eval(x.row_span(i), x_star);
+  }
 }
 
 }  // namespace hp::gp

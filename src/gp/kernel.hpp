@@ -5,6 +5,7 @@
 // squared-exponential and Matern 3/2 for comparison/ablation.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,10 +33,18 @@ class Kernel {
  public:
   virtual ~Kernel() = default;
 
-  /// Covariance between two points. Throws std::invalid_argument on
-  /// dimension mismatch between the points.
-  [[nodiscard]] virtual double operator()(const linalg::Vector& a,
-                                          const linalg::Vector& b) const = 0;
+  /// Covariance between two points given as raw coordinate spans — the
+  /// allocation-free core used by the cached/batched Gram assemblers.
+  /// Throws std::invalid_argument on dimension mismatch between the points.
+  [[nodiscard]] virtual double eval(std::span<const double> a,
+                                    std::span<const double> b) const = 0;
+
+  /// Covariance between two points; forwards to eval().
+  [[nodiscard]] double operator()(const linalg::Vector& a,
+                                  const linalg::Vector& b) const {
+    return eval(std::span<const double>(a.raw()),
+                std::span<const double>(b.raw()));
+  }
 
   /// k(x, x) — for stationary kernels this is the signal variance.
   [[nodiscard]] virtual double diagonal_value() const = 0;
@@ -52,8 +61,8 @@ class Kernel {
 class SquaredExponentialKernel final : public Kernel {
  public:
   explicit SquaredExponentialKernel(KernelParams params);
-  [[nodiscard]] double operator()(const linalg::Vector& a,
-                                  const linalg::Vector& b) const override;
+  [[nodiscard]] double eval(std::span<const double> a,
+                            std::span<const double> b) const override;
   [[nodiscard]] double diagonal_value() const override;
   [[nodiscard]] std::string name() const override { return "squared_exponential"; }
   [[nodiscard]] const KernelParams& params() const override { return params_; }
@@ -68,8 +77,8 @@ class SquaredExponentialKernel final : public Kernel {
 class Matern32Kernel final : public Kernel {
  public:
   explicit Matern32Kernel(KernelParams params);
-  [[nodiscard]] double operator()(const linalg::Vector& a,
-                                  const linalg::Vector& b) const override;
+  [[nodiscard]] double eval(std::span<const double> a,
+                            std::span<const double> b) const override;
   [[nodiscard]] double diagonal_value() const override;
   [[nodiscard]] std::string name() const override { return "matern32"; }
   [[nodiscard]] const KernelParams& params() const override { return params_; }
@@ -85,8 +94,8 @@ class Matern32Kernel final : public Kernel {
 class Matern52Kernel final : public Kernel {
  public:
   explicit Matern52Kernel(KernelParams params);
-  [[nodiscard]] double operator()(const linalg::Vector& a,
-                                  const linalg::Vector& b) const override;
+  [[nodiscard]] double eval(std::span<const double> a,
+                            std::span<const double> b) const override;
   [[nodiscard]] double diagonal_value() const override;
   [[nodiscard]] std::string name() const override { return "matern52"; }
   [[nodiscard]] const KernelParams& params() const override { return params_; }
@@ -98,6 +107,11 @@ class Matern52Kernel final : public Kernel {
 };
 
 /// Scaled Euclidean distance r used by all ARD kernels above.
+[[nodiscard]] double ard_distance(std::span<const double> a,
+                                  std::span<const double> b,
+                                  const KernelParams& params);
+
+/// Vector convenience overload of ard_distance; forwards to the span form.
 [[nodiscard]] double ard_distance(const linalg::Vector& a,
                                   const linalg::Vector& b,
                                   const KernelParams& params);
@@ -110,5 +124,11 @@ class Matern52Kernel final : public Kernel {
 [[nodiscard]] linalg::Vector kernel_cross(const Kernel& k,
                                           const linalg::Matrix& x,
                                           const linalg::Vector& x_star);
+
+/// Fills @p out with the cross-covariance k(X, x_star) without allocating —
+/// the core of kernel_cross(), used by the batched prediction path.
+/// Dimension agreement is an HP_REQUIRE contract.
+void kernel_cross_into(const Kernel& k, const linalg::Matrix& x,
+                       std::span<const double> x_star, std::span<double> out);
 
 }  // namespace hp::gp

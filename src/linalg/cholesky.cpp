@@ -60,16 +60,63 @@ std::optional<Cholesky> Cholesky::with_jitter(Matrix a, double initial_jitter,
   return std::nullopt;
 }
 
+std::optional<Cholesky> Cholesky::extended(const Vector& row,
+                                           double diag) const {
+  const std::size_t n = l_.rows();
+  HP_REQUIRE(row.size() == n, "Cholesky::extended: row dimension mismatch");
+  Matrix l(n + 1, n + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) l(r, c) = l_(r, c);
+  }
+  // The new bottom row of L is the forward-substitution solve L y = row.
+  // The loop mirrors factorize()'s per-column update (acc = a(i,j);
+  // acc -= l(i,k)*l(j,k); acc / l(j,j)) term-for-term so the extension is
+  // bit-identical to refactorizing the bordered matrix from scratch.
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = row[j];
+    for (std::size_t k = 0; k < j; ++k) acc -= l(n, k) * l_(j, k);
+    l(n, j) = acc / l_(j, j);
+  }
+  // New pivot: same sequential subtraction order as factorize()'s diagonal
+  // accumulation (NOT diag - dot(y, y), which rounds differently).
+  double pivot = diag;
+  for (std::size_t k = 0; k < n; ++k) pivot -= l(n, k) * l(n, k);
+  if (pivot <= 0.0 || !std::isfinite(pivot)) return std::nullopt;
+  l(n, n) = std::sqrt(pivot);
+  return Cholesky(FromFactor{}, std::move(l), jitter_);
+}
+
+Cholesky Cholesky::truncated(std::size_t k) const {
+  const std::size_t n = l_.rows();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("Cholesky::truncated: size out of range");
+  }
+  Matrix l(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) l(r, c) = l_(r, c);
+  }
+  return Cholesky(FromFactor{}, std::move(l), jitter_);
+}
+
 Vector Cholesky::solve_lower(const Vector& b) const {
   const std::size_t n = l_.rows();
   HP_REQUIRE(b.size() == n, "Cholesky::solve_lower: dimension mismatch");
   Vector y(n);
+  solve_lower_into(std::span<const double>(b.raw()),
+                   std::span<double>(y.raw()));
+  return y;
+}
+
+void Cholesky::solve_lower_into(std::span<const double> b,
+                                std::span<double> out) const {
+  const std::size_t n = l_.rows();
+  HP_REQUIRE(b.size() == n && out.size() == n,
+             "Cholesky::solve_lower_into: dimension mismatch");
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
-    y[i] = acc / l_(i, i);
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * out[k];
+    out[i] = acc / l_(i, i);
   }
-  return y;
 }
 
 Vector Cholesky::solve_upper(const Vector& y) const {

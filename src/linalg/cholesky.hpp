@@ -5,6 +5,7 @@
 // matrices (standard practice in GP implementations such as Spearmint/GPy).
 
 #include <optional>
+#include <span>
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
@@ -32,11 +33,37 @@ class Cholesky {
   /// plain constructor was used).
   [[nodiscard]] double jitter_used() const noexcept { return jitter_; }
 
+  /// O(n^2) extension: the factor of the bordered matrix
+  /// [[A, row], [row^T, diag]] given this factor L of the n x n matrix A.
+  /// Returns std::nullopt when the extended matrix is not positive
+  /// definite (the new pivot is <= 0 or non-finite). The arithmetic
+  /// mirrors the full factorization operation-for-operation, so when this
+  /// factor was produced without jitter the result is bit-identical to
+  /// refactorizing the extended matrix from scratch — the property the
+  /// incremental GP refit path (DESIGN.md par.13) relies on. jitter_used()
+  /// is carried over unchanged: a jittered parent factors A + jitter*I, so
+  /// the extension factors the bordered jittered matrix (callers that need
+  /// the jitter-free semantics must check jitter_used() == 0 first).
+  [[nodiscard]] std::optional<Cholesky> extended(const Vector& row,
+                                                 double diag) const;
+
+  /// Factor of the leading k x k principal submatrix of A. Column j of L
+  /// depends only on the leading (j+1) x (j+1) block of A, so the leading
+  /// block of L *is* that factor — an O(k^2) copy, used to pop
+  /// constant-liar pseudo-observations without refactorizing. Throws
+  /// std::invalid_argument when k is 0 or exceeds the dimension.
+  [[nodiscard]] Cholesky truncated(std::size_t k) const;
+
   /// Solves A x = b via forward then backward substitution.
   [[nodiscard]] Vector solve(const Vector& b) const;
 
   /// Solves L y = b (forward substitution).
   [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Forward substitution into caller-owned storage (@p out may not alias
+  /// @p b) — the allocation-free core of solve_lower() for the batched
+  /// prediction path.
+  void solve_lower_into(std::span<const double> b, std::span<double> out) const;
 
   /// Solves L^T x = y (backward substitution).
   [[nodiscard]] Vector solve_upper(const Vector& y) const;

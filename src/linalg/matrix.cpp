@@ -62,6 +62,11 @@ double Matrix::operator()(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
+std::span<const double> Matrix::row_span(std::size_t r) const {
+  HP_BOUNDS(r, rows_);
+  return std::span<const double>(data_.data() + r * cols_, cols_);
+}
+
 Vector Matrix::row(std::size_t r) const {
   HP_BOUNDS(r, rows_);
   Vector v(cols_);

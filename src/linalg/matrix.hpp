@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "linalg/vector.hpp"
@@ -40,6 +41,11 @@ class Matrix {
   [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
 
   [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+
+  /// View of row @p r over the row-major storage (no copy). Bounds are an
+  /// HP_BOUNDS contract like operator(); the span is invalidated by any
+  /// mutation of the matrix.
+  [[nodiscard]] std::span<const double> row_span(std::size_t r) const;
 
   /// Copy of row @p r as a Vector.
   [[nodiscard]] Vector row(std::size_t r) const;

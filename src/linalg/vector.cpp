@@ -87,6 +87,12 @@ Vector operator/(Vector lhs, double s) { return lhs /= s; }
 
 double dot(const Vector& a, const Vector& b) {
   HP_REQUIRE(a.size() == b.size(), size_mismatch("dot", a.size(), b.size()));
+  return dot(std::span<const double>(a.raw()),
+             std::span<const double>(b.raw()));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  HP_REQUIRE(a.size() == b.size(), size_mismatch("dot", a.size(), b.size()));
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 namespace hp::linalg {
@@ -74,6 +75,11 @@ class Vector {
 
 /// Inner product; equal dimensions are an HP_REQUIRE contract.
 [[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Inner product over raw spans, with the same accumulation order as the
+/// Vector overload — the allocation-free form used by the batched GP
+/// prediction path.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
 
 /// Element-wise product; equal dimensions are an HP_REQUIRE contract.
 [[nodiscard]] Vector hadamard(const Vector& a, const Vector& b);

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/candidate_pool.hpp"
 #include "core/spaces.hpp"
 #include "stats/distributions.hpp"
+#include "stats/halton.hpp"
 
 namespace hp::core {
 namespace {
@@ -205,6 +207,150 @@ TEST(DefaultMode, ConstraintGpsGateTheAcquisition) {
   // IECI's squared gate suppresses uncertain-feasibility regions harder
   // than CWEI's linear weighting.
   EXPECT_LE(ieci_high, cwei_high);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked scoring: score_block must agree with the scalar score() entry
+// point bit-for-bit, and the argmax tie-break (lowest candidate index wins)
+// is pinned for both paths.
+// ---------------------------------------------------------------------------
+
+/// Space-filling candidate set + decoded configs for block-vs-scalar sweeps.
+struct CandidateSet {
+  std::vector<std::vector<double>> units;
+  std::vector<Configuration> configs;
+};
+
+CandidateSet make_candidates(const HyperParameterSpace& space, std::size_t n) {
+  CandidateSet set;
+  stats::HaltonSequence halton(space.dimension(), 7);
+  set.units = halton.take(n);
+  set.configs.reserve(n);
+  for (const auto& unit : set.units) set.configs.push_back(space.decode(unit));
+  return set;
+}
+
+/// Asserts score_block == per-candidate score() bitwise over the whole set,
+/// for every block size (scratch reuse must not leak state across calls).
+void expect_block_matches_scalar(const AcquisitionFunction& acq,
+                                 const HyperParameterSpace& space,
+                                 const AcquisitionContext& ctx) {
+  const CandidateSet set = make_candidates(space, 57);
+  std::vector<double> want(set.units.size());
+  for (std::size_t i = 0; i < set.units.size(); ++i) {
+    want[i] = acq.score(set.units[i], set.configs[i], ctx);
+  }
+  for (std::size_t block : {std::size_t{1}, std::size_t{8}, std::size_t{57}}) {
+    std::vector<double> got(set.units.size(), -1.0);
+    AcquisitionScratch scratch;
+    for (std::size_t begin = 0; begin < set.units.size(); begin += block) {
+      const std::size_t count = std::min(block, set.units.size() - begin);
+      acq.score_block(
+          std::span<const std::vector<double>>(set.units).subspan(begin, count),
+          std::span<const Configuration>(set.configs).subspan(begin, count),
+          ctx, scratch, std::span<double>(got).subspan(begin, count));
+    }
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << acq.name() << " candidate " << i
+                                 << " block " << block;
+    }
+  }
+}
+
+TEST(ScoreBlock, EiMatchesScalarBitwise) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.3;
+  expect_block_matches_scalar(ExpectedImprovementAcquisition{}, space, ctx);
+}
+
+TEST(ScoreBlock, HwIeciMatchesScalarBitwiseAprioriMode) {
+  const auto space = make_space();
+  auto gp = fitted_gp();
+  ConstraintBudgets budgets;
+  budgets.power_w = 50.0;
+  HardwareConstraints hc(budgets, identity_power_model(), std::nullopt);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &gp;
+  ctx.best_observed = 0.4;
+  ctx.constraints = &hc;
+  expect_block_matches_scalar(HwIeciAcquisition{}, space, ctx);
+  expect_block_matches_scalar(HwCweiAcquisition{}, space, ctx);
+}
+
+TEST(ScoreBlock, HwIeciMatchesScalarBitwiseDefaultMode) {
+  const auto space = make_space();
+  auto objective_gp = fitted_gp();
+  gp::KernelParams p;
+  p.length_scales = {0.3, 0.3};
+  p.signal_variance = 100.0;
+  gp::GaussianProcess power_gp(gp::Matern52Kernel(p), 1e-4);
+  linalg::Matrix x{{0.1, 0.5}, {0.9, 0.5}};
+  linalg::Vector y{30.0, 90.0};
+  power_gp.fit(x, y);
+  AcquisitionContext ctx{space};
+  ctx.objective_gp = &objective_gp;
+  ctx.best_observed = 0.5;
+  ctx.budgets.power_w = 50.0;
+  ctx.measured_power_gp = &power_gp;
+  expect_block_matches_scalar(HwIeciAcquisition{}, space, ctx);
+  expect_block_matches_scalar(HwCweiAcquisition{}, space, ctx);
+}
+
+/// Constant positive score through the scalar entry point (the base-class
+/// score_block loop).
+class ConstantScalarAcquisition final : public AcquisitionFunction {
+ public:
+  [[nodiscard]] double score(const std::vector<double>&, const Configuration&,
+                             const AcquisitionContext&) const override {
+    return 1.0;
+  }
+  [[nodiscard]] std::string name() const override { return "const-scalar"; }
+};
+
+/// Constant positive score through an overridden score_block (bypasses
+/// score() entirely, exercising the blocked selection path).
+class ConstantBlockAcquisition final : public AcquisitionFunction {
+ public:
+  [[nodiscard]] double score(const std::vector<double>&, const Configuration&,
+                             const AcquisitionContext&) const override {
+    return 1.0;
+  }
+  void score_block(std::span<const std::vector<double>> unit_xs,
+                   std::span<const Configuration>, const AcquisitionContext&,
+                   AcquisitionScratch&, std::span<double> out) const override {
+    for (std::size_t i = 0; i < unit_xs.size(); ++i) out[i] = 1.0;
+  }
+  [[nodiscard]] std::string name() const override { return "const-block"; }
+};
+
+TEST(ArgmaxTieBreak, LowestIndexWinsScalarPath) {
+  const auto space = make_space();
+  AcquisitionContext ctx{space};
+  CandidatePool pool(space);
+  ConstantScalarAcquisition acq;
+  stats::Rng rng(9);
+  const auto best = pool.maximize(acq, ctx, rng);
+  // Every candidate ties at 1.0: the first lattice point must win.
+  EXPECT_EQ(best.unit, pool.lattice().front());
+  EXPECT_EQ(best.score, 1.0);
+}
+
+TEST(ArgmaxTieBreak, LowestIndexWinsBlockedPath) {
+  const auto space = make_space();
+  AcquisitionContext ctx{space};
+  for (std::size_t block : {std::size_t{1}, std::size_t{37}, std::size_t{4096}}) {
+    CandidatePoolOptions opt;
+    opt.score_block_size = block;
+    CandidatePool pool(space, opt);
+    ConstantBlockAcquisition acq;
+    stats::Rng rng(9);
+    const auto best = pool.maximize(acq, ctx, rng);
+    EXPECT_EQ(best.unit, pool.lattice().front()) << "block " << block;
+    EXPECT_EQ(best.score, 1.0);
+  }
 }
 
 }  // namespace

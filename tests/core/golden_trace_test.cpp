@@ -80,7 +80,14 @@ std::string temp_path(const std::string& name) {
 }
 
 bool is_bayesian_key(const std::string& key) {
-  return key == "hw_ieci" || key == "hw_cwei";
+  return key.rfind("hw_ieci", 0) == 0 || key.rfind("hw_cwei", 0) == 0;
+}
+
+/// "_long" keys are the BO-heavy scenarios (ISSUE 6): enough completed
+/// observations (>= 60) that the incremental GP refit and blocked
+/// acquisition paths run far past the cache-warmup regime.
+bool is_long_key(const std::string& key) {
+  return key.size() >= 5 && key.compare(key.size() - 5, 5, "_long") == 0;
 }
 
 /// Power model in structural z (= unit a, scaled by 100 in the fake
@@ -108,8 +115,13 @@ OptimizerOptions golden_options(const std::string& key, std::size_t batch,
     // golden never depends on the wrap-vs-stop exhaustion policy.
     opt.max_samples = 9;
   } else if (is_bayesian_key(key)) {
-    opt.max_function_evaluations = 8;
-    opt.max_samples = 48;
+    if (is_long_key(key)) {
+      opt.max_function_evaluations = 70;
+      opt.max_samples = 350;
+    } else {
+      opt.max_function_evaluations = 8;
+      opt.max_samples = 48;
+    }
   } else {
     opt.max_function_evaluations = 12;
     opt.max_samples = 60;
@@ -141,10 +153,13 @@ std::unique_ptr<Optimizer> make_optimizer(const std::string& key,
   bo.initial_design = 3;
   bo.pool.lattice_points = 120;
   bo.pool.random_points = 60;
+  // The long scenario stretches the posterior-only stretch between ML
+  // kernel fits so most of its ~70 refits take the incremental path.
+  if (is_long_key(key)) bo.kernel_refit_interval = 12;
   std::unique_ptr<AcquisitionFunction> acquisition;
-  if (key == "hw_ieci") {
+  if (key.rfind("hw_ieci", 0) == 0) {
     acquisition = std::make_unique<HwIeciAcquisition>();
-  } else if (key == "hw_cwei") {
+  } else if (key.rfind("hw_cwei", 0) == 0) {
     acquisition = std::make_unique<HwCweiAcquisition>();
   } else {
     ADD_FAILURE() << "unknown method key " << key;
@@ -242,6 +257,12 @@ TEST(GoldenTrace, HwCwei_Batch4) { check_or_regen("hw_cwei", 4); }
 TEST(GoldenTrace, Grid_Batch1) { check_or_regen("grid", 1); }
 TEST(GoldenTrace, Grid_Batch4) { check_or_regen("grid", 4); }
 
+// BO-heavy goldens (ISSUE 6): ~70 completed observations, so the
+// incremental-Cholesky/cached-kernel refit path and the blocked
+// acquisition scoring are exercised well past the cache-warmup regime.
+TEST(GoldenTrace, HwIeciLong_Batch1) { check_or_regen("hw_ieci_long", 1); }
+TEST(GoldenTrace, HwIeciLong_Batch4) { check_or_regen("hw_ieci_long", 4); }
+
 TEST(GoldenTrace, Resume_Rand_Sequential) { check_resume("rand", 1, 1, 5); }
 TEST(GoldenTrace, Resume_Rand_BatchedParallel) {
   check_resume("rand", 4, 4, 6);  // 6 is mid-round: partial round dropped
@@ -263,6 +284,14 @@ TEST(GoldenTrace, Resume_HwCwei_BatchedParallel) {
 TEST(GoldenTrace, Resume_Grid_Sequential) { check_resume("grid", 1, 1, 5); }
 TEST(GoldenTrace, Resume_Grid_BatchedParallel) {
   check_resume("grid", 4, 4, 6);
+}
+// keep=30 resumes mid-run with a warm (~25-observation) GP, so replay
+// followed by live incremental refits must still match the golden.
+TEST(GoldenTrace, Resume_HwIeciLong_Sequential) {
+  check_resume("hw_ieci_long", 1, 1, 30);
+}
+TEST(GoldenTrace, Resume_HwIeciLong_BatchedParallel) {
+  check_resume("hw_ieci_long", 4, 4, 30);
 }
 
 }  // namespace

@@ -193,5 +193,195 @@ TEST(GaussianProcess, MultiDimensionalInputs) {
   EXPECT_NEAR(pred.mean, y[7], 1e-3);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental refit paths (DESIGN.md par.13): the fast paths must be
+// bit-identical to fitting from scratch, and last_refit_kind() must report
+// which path actually ran.
+// ---------------------------------------------------------------------------
+
+/// Random dataset on the unit cube: @p n rows of dimension @p d.
+void random_dataset(std::size_t n, std::size_t d, std::uint64_t seed,
+                    Matrix& x, Vector& y) {
+  stats::Rng rng(seed);
+  x = Matrix(n, d);
+  y = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) x(i, c) = rng.uniform();
+    y[i] = std::sin(3.0 * x(i, 0)) + 0.1 * static_cast<double>(i % 5);
+  }
+}
+
+GaussianProcess make_gp2d(double noise = 1e-4) {
+  KernelParams p;
+  p.length_scales = {0.3, 0.3};
+  return GaussianProcess(Matern52Kernel(p), noise);
+}
+
+/// Asserts identical posterior state via bitwise-equal predictions at a
+/// probe grid plus the log marginal likelihood.
+void expect_same_posterior(const GaussianProcess& a, const GaussianProcess& b) {
+  EXPECT_EQ(a.log_marginal_likelihood(), b.log_marginal_likelihood());
+  EXPECT_EQ(a.target_mean(), b.target_mean());
+  for (double u : {0.0, 0.21, 0.5, 0.77, 1.0}) {
+    const Vector probe{u, 1.0 - u};
+    const Prediction pa = a.predict(probe);
+    const Prediction pb = b.predict(probe);
+    EXPECT_EQ(pa.mean, pb.mean) << "probe " << u;
+    EXPECT_EQ(pa.variance, pb.variance) << "probe " << u;
+  }
+}
+
+TEST(GaussianProcessIncremental, ExtensionMatchesFullRefitBitwise) {
+  Matrix x;
+  Vector y;
+  random_dataset(30, 2, 71, x, y);
+  auto incremental = make_gp2d();
+  Matrix x_head(20, 2);
+  Vector y_head(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x_head(i, 0) = x(i, 0);
+    x_head(i, 1) = x(i, 1);
+    y_head[i] = y[i];
+  }
+  incremental.fit(x_head, y_head);
+  EXPECT_EQ(incremental.last_refit_kind(), RefitKind::kFull);
+  // Appending rows takes the O(n^2) bordered path...
+  incremental.fit(x, y);
+  EXPECT_EQ(incremental.last_refit_kind(), RefitKind::kExtended);
+  // ...and agrees with a from-scratch fit bit-for-bit.
+  auto fresh = make_gp2d();
+  fresh.fit(x, y);
+  EXPECT_EQ(fresh.last_refit_kind(), RefitKind::kFull);
+  expect_same_posterior(incremental, fresh);
+}
+
+TEST(GaussianProcessIncremental, SingleRowExtensionPerRound) {
+  Matrix x;
+  Vector y;
+  random_dataset(25, 2, 5, x, y);
+  auto incremental = make_gp2d();
+  auto fresh = make_gp2d();
+  for (std::size_t n = 1; n <= 25; ++n) {
+    Matrix xn(n, 2);
+    Vector yn(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xn(i, 0) = x(i, 0);
+      xn(i, 1) = x(i, 1);
+      yn[i] = y[i];
+    }
+    incremental.fit(xn, yn);
+    EXPECT_EQ(incremental.last_refit_kind(),
+              n == 1 ? RefitKind::kFull : RefitKind::kExtended);
+    if (n == 25) {
+      fresh.fit(xn, yn);
+      expect_same_posterior(incremental, fresh);
+    }
+  }
+}
+
+TEST(GaussianProcessIncremental, TruncationMatchesFullRefitBitwise) {
+  Matrix x;
+  Vector y;
+  random_dataset(24, 2, 72, x, y);
+  auto incremental = make_gp2d();
+  incremental.fit(x, y);
+  // Shrink to the leading 18 rows: the constant-liar pop path.
+  Matrix x_head(18, 2);
+  Vector y_head(18);
+  for (std::size_t i = 0; i < 18; ++i) {
+    x_head(i, 0) = x(i, 0);
+    x_head(i, 1) = x(i, 1);
+    y_head[i] = y[i];
+  }
+  incremental.fit(x_head, y_head);
+  EXPECT_EQ(incremental.last_refit_kind(), RefitKind::kTruncated);
+  auto fresh = make_gp2d();
+  fresh.fit(std::move(x_head), std::move(y_head));
+  expect_same_posterior(incremental, fresh);
+}
+
+TEST(GaussianProcessIncremental, SameInputsReuseFactorNewTargets) {
+  Matrix x;
+  Vector y;
+  random_dataset(16, 2, 73, x, y);
+  auto incremental = make_gp2d();
+  incremental.fit(x, y);
+  Vector y2 = y;
+  for (std::size_t i = 0; i < y2.size(); ++i) y2[i] += 0.25;
+  incremental.fit(x, y2);
+  EXPECT_EQ(incremental.last_refit_kind(), RefitKind::kReused);
+  auto fresh = make_gp2d();
+  fresh.fit(std::move(x), std::move(y2));
+  expect_same_posterior(incremental, fresh);
+}
+
+TEST(GaussianProcessIncremental, ChangedRowForcesFullRefit) {
+  Matrix x;
+  Vector y;
+  random_dataset(12, 2, 74, x, y);
+  auto gp = make_gp2d();
+  gp.fit(x, y);
+  Matrix x2 = x;
+  x2(3, 1) += 1e-9;  // any bit difference in the prefix disables reuse
+  gp.fit(std::move(x2), std::move(y));
+  EXPECT_EQ(gp.last_refit_kind(), RefitKind::kFull);
+}
+
+TEST(GaussianProcessIncremental, KernelOrNoiseChangeInvalidatesCache) {
+  Matrix x;
+  Vector y;
+  random_dataset(14, 2, 75, x, y);
+  auto gp = make_gp2d();
+  gp.fit(x, y);
+  gp.fit(x, y);
+  ASSERT_EQ(gp.last_refit_kind(), RefitKind::kReused);
+  // The kernel-ML refit path replaces kernel + noise: both setters must
+  // force a full factorization (the cached Gram is stale).
+  KernelParams p;
+  p.length_scales = {0.5, 0.5};
+  gp.set_kernel(Matern52Kernel(p));
+  EXPECT_EQ(gp.last_refit_kind(), RefitKind::kFull);
+  gp.fit(x, y);
+  EXPECT_EQ(gp.last_refit_kind(), RefitKind::kReused);
+  gp.set_noise_variance(2e-4);
+  EXPECT_EQ(gp.last_refit_kind(), RefitKind::kFull);
+}
+
+TEST(GaussianProcessIncremental, JitteredFactorDisablesIncrementalReuse) {
+  // Duplicate rows with zero noise make the Gram singular, so the factor
+  // carries jitter; a jittered factor has no bit-identical incremental
+  // counterpart and appending must fall back to the full path.
+  Matrix x(2, 2);
+  x(0, 0) = x(1, 0) = 0.4;
+  x(0, 1) = x(1, 1) = 0.6;
+  Vector y{1.0, 1.0};
+  auto gp = make_gp2d(0.0);
+  gp.fit(x, y);
+  ASSERT_EQ(gp.last_refit_kind(), RefitKind::kFull);
+  Matrix x2(3, 2);
+  x2(0, 0) = x2(1, 0) = 0.4;
+  x2(0, 1) = x2(1, 1) = 0.6;
+  x2(2, 0) = 0.1;
+  x2(2, 1) = 0.9;
+  gp.fit(std::move(x2), Vector{1.0, 1.0, 2.0});
+  EXPECT_EQ(gp.last_refit_kind(), RefitKind::kFull);
+}
+
+TEST(GaussianProcessIncremental, SpanPredictMatchesVectorPredict) {
+  Matrix x;
+  Vector y;
+  random_dataset(20, 2, 76, x, y);
+  auto gp = make_gp2d();
+  gp.fit(std::move(x), std::move(y));
+  PredictScratch scratch;  // reused across calls, as in block scoring
+  for (double u : {0.0, 0.33, 0.66, 1.0}) {
+    const Vector probe{u, u * 0.5};
+    const Prediction want = gp.predict(probe);
+    const Prediction got = gp.predict(probe.raw(), scratch);
+    EXPECT_EQ(got.mean, want.mean);
+    EXPECT_EQ(got.variance, want.variance);
+  }
+}
+
 }  // namespace
 }  // namespace hp::gp
