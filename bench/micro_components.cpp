@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "common/experiment.hpp"
 #include "common/micro_report.hpp"
 #include "core/candidate_pool.hpp"
 #include "gp/kernel_fit.hpp"
 #include "linalg/cholesky.hpp"
 #include "nn/sgd_trainer.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -248,6 +251,78 @@ void BM_RealCnnTrainingEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RealCnnTrainingEpoch);
+
+// ---- tracing overhead ------------------------------------------------
+// The same small Cholesky workload at three instrumentation levels. The
+// committed tracked.json invariant pins Baseline/SpansOff >= 0.98: a
+// ScopedTimer with every backend disabled may cost at most ~2% on a
+// microsecond-scale workload (in practice it is three relaxed loads).
+
+linalg::Matrix trace_bench_matrix() {
+  linalg::Matrix b = random_inputs(32, 32, 7);
+  linalg::Matrix a = b * b.transposed();
+  a.add_to_diagonal(32.0);
+  return a;
+}
+
+void BM_TraceOverheadBaseline(benchmark::State& state) {
+  const linalg::Matrix a = trace_bench_matrix();
+  for (auto _ : state) {
+    linalg::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+}
+BENCHMARK(BM_TraceOverheadBaseline);
+
+void BM_TraceOverheadSpansOff(benchmark::State& state) {
+  // Metrics, logging and tracing all disabled: the span is a no-op guard.
+  const linalg::Matrix a = trace_bench_matrix();
+  for (auto _ : state) {
+    obs::ScopedTimer span("bench.trace_overhead");
+    linalg::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+}
+BENCHMARK(BM_TraceOverheadSpansOff);
+
+void BM_TraceOverheadRing(benchmark::State& state) {
+  // Tracing enabled: every span takes two clock samples and one ring slot.
+  obs::TraceConfig config;
+  config.ring_kb = 256;
+  obs::tracer().start(config);
+  const linalg::Matrix a = trace_bench_matrix();
+  for (auto _ : state) {
+    obs::ScopedTimer span("bench.trace_overhead");
+    linalg::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+  obs::tracer().stop();
+  obs::tracer().reset();
+}
+BENCHMARK(BM_TraceOverheadRing);
+
+void BM_TraceExport(benchmark::State& state) {
+  // Chrome trace-event JSON serialization of a full ring (4096 spans),
+  // the one-shot end-of-run cost of --trace-out.
+  obs::TraceConfig config;
+  config.ring_kb = 256;  // 4096 events at 64 B/event
+  obs::tracer().start(config);
+  for (int i = 0; i < 4096; ++i) {
+    obs::ScopedTimer span("bench.trace_overhead", nullptr,
+                          obs::LogLevel::kTrace,
+                          static_cast<std::uint64_t>(i));
+    span.trace_arg({"index", i});
+    benchmark::DoNotOptimize(i);
+  }
+  obs::tracer().stop();
+  for (auto _ : state) {
+    std::ostringstream os;
+    obs::tracer().write_chrome_trace(os);
+    benchmark::DoNotOptimize(os.str().size());
+  }
+  obs::tracer().reset();
+}
+BENCHMARK(BM_TraceExport);
 
 }  // namespace
 

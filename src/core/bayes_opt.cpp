@@ -92,7 +92,12 @@ Configuration BayesOptProposer::propose(stats::Rng& rng) {
   ctx.constraints = active_constraints();
   ctx.measured_power_gp = power_gp_ ? power_gp_.get() : nullptr;
   ctx.measured_memory_gp = memory_gp_ ? memory_gp_.get() : nullptr;
-  obs::ScopedTimer timer("bo.acq_argmax", &BoMetrics::get().acq_argmax_s);
+  obs::ScopedTimer timer("bo.acq_argmax", &BoMetrics::get().acq_argmax_s,
+                         obs::LogLevel::kTrace, obs_y_.size());
+  timer.trace_arg({"observations", obs_y_.size()});
+  timer.trace_arg({"pool", bo_options_.pool.lattice_points +
+                               bo_options_.pool.random_points});
+  timer.trace_arg({"score_block", bo_options_.pool.score_block_size});
   return pool_.maximize(*acquisition_, ctx, rng).config;
 }
 
@@ -108,15 +113,23 @@ std::vector<Configuration> BayesOptProposer::propose_batch(
     if (obs::metrics().enabled()) {
       BoMetrics::get().constant_liar_fills.add(1);
     }
+    obs::ScopedTimer lie_span("bo.constant_liar_fill", nullptr,
+                              obs::LogLevel::kTrace, obs_y_.size());
     obs_x_.push_back(space().encode(config));
     obs_y_.push_back(best_feasible_y_);
     fit_objective_gp_posterior();
+    lie_span.trace_arg(
+        {"refit", gp::refit_kind_name(objective_gp_->last_refit_kind())});
   };
   liar.pop_lies = [this, real_observations] {
     if (obs_y_.size() <= real_observations) return;
+    obs::ScopedTimer pop_span("bo.constant_liar_pop", nullptr,
+                              obs::LogLevel::kTrace, obs_y_.size());
     obs_x_.resize(real_observations);
     obs_y_.resize(real_observations);
     fit_objective_gp_posterior();
+    pop_span.trace_arg(
+        {"refit", gp::refit_kind_name(objective_gp_->last_refit_kind())});
   };
   return fill_proposal_batch(
       run_seed(), first_sample_index, count,
@@ -173,7 +186,10 @@ void BayesOptProposer::refit_objective_gp() {
                         {{"observations", obs::JsonValue(obs_y_.size())},
                          {"kernel_ml", obs::JsonValue(kernel_ml)}});
   }
-  obs::ScopedTimer timer("bo.gp_fit", &BoMetrics::get().gp_fit_s);
+  obs::ScopedTimer timer("bo.gp_fit", &BoMetrics::get().gp_fit_s,
+                         obs::LogLevel::kTrace, obs_y_.size());
+  timer.trace_arg({"observations", obs_y_.size()});
+  timer.trace_arg({"kernel_ml", kernel_ml});
   if (kernel_ml) {
     gp::KernelFitOptions fit = bo_options_.kernel_fit;
     fit.min_noise_variance = bo_options_.observation_noise;
@@ -182,6 +198,9 @@ void BayesOptProposer::refit_objective_gp() {
   } else {
     objective_gp_->fit(x, y);
   }
+  // Annotated post-fit: which incremental path the refit actually took.
+  timer.trace_arg(
+      {"refit", gp::refit_kind_name(objective_gp_->last_refit_kind())});
 }
 
 namespace {

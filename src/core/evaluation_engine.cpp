@@ -71,6 +71,11 @@ RunResult EvaluationEngine::resume(
 
 RunResult EvaluationEngine::run_impl(
     const std::vector<EvaluationRecord>* replay) {
+  obs::ScopedTimer run_span("optimizer.run", nullptr, obs::LogLevel::kTrace,
+                            options_.seed);
+  run_span.trace_arg({"seed", options_.seed});
+  run_span.trace_arg({"batch_size", options_.batch_size});
+  run_span.trace_arg({"num_threads", options_.num_threads});
   recorder_.begin_run();
   ProposerRunContext context;
   context.budgets = &budgets_;
@@ -213,6 +218,9 @@ void EvaluationEngine::replay_records(
 }
 
 void EvaluationEngine::finalize_live(EvaluationRecord& record) {
+  obs::ScopedTimer finalize_span("optimizer.sample.finalize", nullptr,
+                                 obs::LogLevel::kTrace,
+                                 recorder_.trace().size());
   // Classify against the *measured* metrics (both modes measure after
   // training; the default mode just could not avoid the cost).
   if (record.status == EvaluationStatus::Completed ||
@@ -248,6 +256,9 @@ bool EvaluationEngine::check_abort(RunResult& result) {
       "optimizer.aborted",
       {{"consecutive_failures", obs::JsonValue(failures)},
        {"samples", obs::JsonValue(recorder_.trace().size())}});
+  if (obs::flight_recorder().enabled()) {
+    obs::flight_recorder().dump_to_stderr("consecutive-failure abort");
+  }
   return true;
 }
 
@@ -284,6 +295,13 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
     std::size_t count =
         std::min(options_.batch_size, options_.max_samples - round_base);
 
+    // Keyed by round_base (a pure function of the run, not of scheduling)
+    // so the round's span id — and the ids of everything beneath it — is
+    // identical at any thread count.
+    obs::ScopedTimer round_span("optimizer.round", nullptr,
+                                obs::LogLevel::kTrace, round_base);
+    round_span.trace_arg({"round_base", round_base});
+
     if (batched && obs::metrics().enabled()) LoopMetrics::get().rounds.add(1);
 
     // Phase 1 — proposals. Sequential mode draws its one candidate from
@@ -292,8 +310,8 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
     // on this thread; the rest propose inside the worker tasks.
     std::vector<Configuration> proposals;
     if (!batched || !proposer_.supports_parallel_proposals()) {
-      obs::ScopedTimer timer("optimize.propose",
-                             &LoopMetrics::get().propose_s);
+      obs::ScopedTimer timer("optimize.propose", &LoopMetrics::get().propose_s,
+                             obs::LogLevel::kTrace, round_base);
       proposals = batched ? proposer_.propose_batch(round_base, count)
                           : std::vector<Configuration>{
                                 proposer_.propose(shared_rng)};
@@ -344,7 +362,8 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
     };
     if (batched) {
       obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
-                                      &LoopMetrics::get().round_evaluate_s);
+                                      &LoopMetrics::get().round_evaluate_s,
+                                      obs::LogLevel::kTrace, round_base);
       pool->parallel_for(count, prepare);
     } else {
       prepare(0);
@@ -358,7 +377,8 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
     // clock here, sample by sample.
     std::optional<obs::ScopedTimer> merge_timer;
     if (batched) {
-      merge_timer.emplace("optimize.merge", &LoopMetrics::get().merge_s);
+      merge_timer.emplace("optimize.merge", &LoopMetrics::get().merge_s,
+                          obs::LogLevel::kTrace, round_base);
     }
     for (std::size_t j = 0; j < count; ++j) {
       if (recorder_.function_evaluations() >=

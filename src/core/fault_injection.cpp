@@ -5,6 +5,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace hp::core {
 
 std::uint64_t hash_configuration(const Configuration& config) noexcept {
@@ -46,6 +48,11 @@ void FaultInjectingObjective::maybe_fail(const Configuration& config) {
   const std::optional<FailureKind> kind = scheduled_fault(config, attempt);
   if (!kind) return;
   injected_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "fault.injected",
+        {{"kind", failure_kind_name(*kind)}, {"attempt", attempt}});
+  }
   if (*kind == FailureKind::Timeout && spec_.hang_s > 0.0) {
     // Simulated hang: real sleep so the watchdog deadline can fire first.
     std::this_thread::sleep_for(std::chrono::duration<double>(spec_.hang_s));

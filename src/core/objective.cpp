@@ -30,6 +30,10 @@ std::string to_string(EvaluationStatus status) {
 }
 
 std::string to_string(FailureKind kind) {
+  return failure_kind_name(kind);
+}
+
+const char* failure_kind_name(FailureKind kind) noexcept {
   switch (kind) {
     case FailureKind::Transient:
       return "transient";

@@ -53,6 +53,9 @@ enum class FailureKind {
 };
 
 [[nodiscard]] std::string to_string(FailureKind kind);
+/// Same strings as to_string, but as static literals — safe to hand to the
+/// tracer/flight recorder, which store pointers rather than copies.
+[[nodiscard]] const char* failure_kind_name(FailureKind kind) noexcept;
 [[nodiscard]] std::optional<FailureKind> failure_kind_from_string(
     const std::string& name);
 

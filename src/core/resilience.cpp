@@ -9,6 +9,8 @@
 
 #include "hw/sensor.hpp"
 #include "obs/log.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::core {
 namespace {
@@ -176,7 +178,12 @@ EvaluationRecord ResilientEvaluator::attempt(const Configuration& config,
   // thread, and evaluate() would keep mutating the shared clock underneath
   // the run. For the same reason the closure must own copies of everything
   // it touches — a zombie outlives this stack frame.
-  auto body = [this, config, rule, attempt_index]() -> EvaluationRecord {
+  // The watchdog body runs on its own thread; carry the attempt span over
+  // so anything it records still hangs off the right sample.
+  auto body = [this, config, rule, attempt_index,
+               trace_parent =
+                   obs::tracer().current_span()]() -> EvaluationRecord {
+    const obs::ScopedParent trace_scope(trace_parent);
     AttemptScope scope(attempt_index);
     return objective_.evaluate_detached(config, rule);
   };
@@ -199,11 +206,19 @@ ResilientOutcome ResilientEvaluator::evaluate(const Configuration& config,
       stats::stream_seed(run_seed_ ^ kBackoffSalt, sample_index));
   auto& log = obs::logger();
 
+  obs::ScopedTimer sample_span("optimizer.sample.evaluate", nullptr,
+                               obs::LogLevel::kTrace, sample_index);
+  sample_span.trace_arg({"sample", sample_index});
+
   double extra_cost_s = 0.0;  // failed attempts + backoff, in virtual seconds
   FailureKind last_kind = FailureKind::Persistent;
   for (std::size_t attempt_index = 1;; ++attempt_index) {
+    obs::ScopedTimer attempt_span("optimizer.sample.attempt", nullptr,
+                                  obs::LogLevel::kTrace, attempt_index);
+    attempt_span.trace_arg({"attempt", attempt_index});
     try {
       EvaluationRecord record = attempt(config, rule, attempt_index, detached);
+      attempt_span.stop();
       record.attempts = attempt_index;
       if (!detached && deadline_armed_) {
         // Failed attempts and backoff were charged to the clock as they
@@ -220,6 +235,8 @@ ResilientOutcome ResilientEvaluator::evaluate(const Configuration& config,
       return outcome;
     } catch (const std::exception& e) {
       last_kind = classify_failure(e);
+      attempt_span.trace_arg({"kind", failure_kind_name(last_kind)});
+      attempt_span.stop();
       const double attempt_cost = failure_cost_s(e);
       extra_cost_s += attempt_cost;
       if (!detached) objective_.clock().advance(attempt_cost);
@@ -231,6 +248,12 @@ ResilientOutcome ResilientEvaluator::evaluate(const Configuration& config,
                   {"attempt", obs::JsonValue(attempt_index)},
                   {"kind", obs::JsonValue(to_string(last_kind))},
                   {"error", obs::JsonValue(e.what())}});
+      }
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant(retry ? "eval.retry" : "eval.failed",
+                              {{"sample", sample_index},
+                               {"attempt", attempt_index},
+                               {"kind", failure_kind_name(last_kind)}});
       }
       if (!retry) {
         ResilientOutcome outcome;
@@ -245,6 +268,11 @@ ResilientOutcome ResilientEvaluator::evaluate(const Configuration& config,
         return outcome;
       }
       const double backoff = policy_.backoff_s(attempt_index, jitter_rng);
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "eval.backoff",
+            {{"sample", sample_index}, {"backoff_s", backoff}});
+      }
       extra_cost_s += backoff;
       if (!detached) objective_.clock().advance(backoff);
     }

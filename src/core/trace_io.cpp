@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/log.hpp"
+#include "obs/span.hpp"
 
 namespace hp::core {
 
@@ -344,6 +345,8 @@ JournalLoadResult EvalJournal::load(const std::string& path) {
 
 void EvalJournal::append(const EvaluationRecord& record) {
   if (!active()) return;
+  obs::ScopedTimer fsync_span("journal.fsync", nullptr, obs::LogLevel::kTrace,
+                              record.index);
   write_journal_line(file_.get(), path_, journal_record_line(record));
 }
 

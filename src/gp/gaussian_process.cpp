@@ -32,17 +32,6 @@ struct GpMetrics {
   }
 };
 
-[[maybe_unused]] const char* refit_kind_name(RefitKind kind) {
-  switch (kind) {
-    case RefitKind::kNone: return "none";
-    case RefitKind::kFull: return "full";
-    case RefitKind::kReused: return "reused";
-    case RefitKind::kExtended: return "extended";
-    case RefitKind::kTruncated: return "truncated";
-  }
-  return "unknown";
-}
-
 }  // namespace
 
 double Prediction::stddev() const noexcept {

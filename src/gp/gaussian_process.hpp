@@ -36,6 +36,24 @@ enum class RefitKind {
   kTruncated,  ///< inputs shrank to a prefix: leading-block copy
 };
 
+/// Stable literal name of a refit kind — trace-span annotation friendly
+/// (the tracer stores the pointer, so the value must be a static string).
+[[nodiscard]] constexpr const char* refit_kind_name(RefitKind kind) noexcept {
+  switch (kind) {
+    case RefitKind::kNone:
+      return "none";
+    case RefitKind::kFull:
+      return "full";
+    case RefitKind::kReused:
+      return "reused";
+    case RefitKind::kExtended:
+      return "extended";
+    case RefitKind::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
 /// Reusable buffers for the allocation-free predict() overload. One scratch
 /// per caller; reuse across calls to amortize allocations over a whole
 /// candidate block.

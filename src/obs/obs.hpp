@@ -1,11 +1,13 @@
 #pragma once
 // Umbrella header for the observability subsystem: structured leveled
 // logging (log.hpp), the metrics registry (metrics.hpp), RAII span timing
-// (span.hpp) and the shared JSON writer (json.hpp). See DESIGN.md §9 for
-// the event schema, metric naming scheme, and the read-side determinism
+// (span.hpp), the causal span tracer + flight recorder (trace.hpp) and the
+// shared JSON writer (json.hpp). See DESIGN.md §9 for the event schema,
+// metric naming scheme, span-tree model, and the read-side determinism
 // invariant every instrumented layer must respect.
 
 #include "obs/json.hpp"     // IWYU pragma: export
 #include "obs/log.hpp"      // IWYU pragma: export
 #include "obs/metrics.hpp"  // IWYU pragma: export
 #include "obs/span.hpp"     // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

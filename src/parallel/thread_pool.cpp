@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/contracts.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::parallel {
 
@@ -14,6 +15,10 @@ namespace hp::parallel {
 struct ThreadPool::Batch {
   const std::function<void(std::size_t)>* body = nullptr;
   std::size_t n = 0;
+  /// Span context of the parallel_for caller, re-established on every
+  /// thread that executes a share so child spans attach to the caller's
+  /// span rather than to whatever ran last on that worker.
+  std::uint64_t trace_parent = 0;
   std::atomic<std::size_t> next{0};
 
   std::mutex mutex;
@@ -82,6 +87,14 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
     return future;
   }
   std::function<void()> wrapped = [task] { (*task)(); };
+  if (obs::tracer().enabled()) {
+    // Cross-thread causality: the job runs under the submitter's span.
+    wrapped = [parent = obs::tracer().current_span(),
+               inner = std::move(wrapped)] {
+      obs::ScopedParent scope(parent);
+      inner();
+    };
+  }
   instrument_job(wrapped);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -95,6 +108,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
   HP_ASSERT(batch != nullptr && batch->body != nullptr,
             "ThreadPool batch without a body");
+  const obs::ScopedParent trace_scope(batch->trace_parent);
   std::size_t done_here = 0;
   for (;;) {
     const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
@@ -130,6 +144,9 @@ void ThreadPool::parallel_for(std::size_t n,
   auto batch = std::make_shared<Batch>();
   batch->body = &body;
   batch->n = n;
+  if (obs::tracer().enabled()) {
+    batch->trace_parent = obs::tracer().current_span();
+  }
 
   if (workers_.empty() || n == 1) {
     // Inline execution, same drain-and-rethrow semantics as the threaded

@@ -34,6 +34,7 @@
 #include "core/random_walk.hpp"
 #include "core/trace_io.hpp"
 #include "fake_objective.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::core {
 namespace {
@@ -292,6 +293,26 @@ TEST(GoldenTrace, Resume_HwIeciLong_Sequential) {
 }
 TEST(GoldenTrace, Resume_HwIeciLong_BatchedParallel) {
   check_resume("hw_ieci_long", 4, 4, 30);
+}
+
+// Tracing is pure read-side (ISSUE 7): with the span tracer recording and
+// the flight recorder armed, the goldens must still match byte-for-byte —
+// at batch 1 and 4, threads 1 and 4, across every method family.
+TEST(GoldenTrace, TracingOnIsByteIdentical) {
+  if (regen_mode()) GTEST_SKIP() << "regen mode: goldens only";
+  obs::TraceConfig config;
+  config.ring_kb = 512;
+  config.flight_recorder = true;
+  obs::tracer().start(config);
+  for (const std::string key : {"rand", "grid", "hw_ieci"}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+      check_or_regen(key, batch);
+    }
+  }
+  obs::tracer().stop();
+  EXPECT_FALSE(obs::tracer().snapshot().empty());
+  obs::tracer().reset();
+  obs::flight_recorder().reset();
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Tracing is pure read-side (DESIGN.md §9): a run with the tracer
+// recording (flight recorder armed, instants firing on every injected
+// fault and retry) must produce a bit-identical evaluation trace to the
+// same run with tracing off. Exercised for every method (Rand, Rand-Walk,
+// Grid, HW-IECI, HW-CWEI) at batch sizes 1 and 4, on 4 threads, over the
+// fault-injecting scenario so the retry/backoff instrumentation is live.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/bayes_opt.hpp"
+#include "core/fault_injection.hpp"
+#include "core/grid_search.hpp"
+#include "core/optimizer.hpp"
+#include "core/random_search.hpp"
+#include "core/random_walk.hpp"
+#include "obs/trace.hpp"
+#include "../core/fake_objective.hpp"
+
+namespace hp::core {
+namespace {
+
+using testing::FakeObjective;
+using testing::fake_space;
+
+/// Arms the tracer (and flight recorder) for one scope with a small ring,
+/// restoring the disabled/empty defaults on exit.
+class TracingOn {
+ public:
+  TracingOn() {
+    obs::TraceConfig config;
+    config.ring_kb = 256;
+    config.flight_recorder = true;
+    config.flight_entries = 256;
+    obs::tracer().start(config);
+  }
+  ~TracingOn() {
+    obs::tracer().stop();
+    obs::tracer().reset();
+    obs::flight_recorder().reset();
+  }
+
+  TracingOn(const TracingOn&) = delete;
+  TracingOn& operator=(const TracingOn&) = delete;
+};
+
+HardwareConstraints make_constraints() {
+  ConstraintBudgets budgets;
+  budgets.power_w = 60.0;
+  return HardwareConstraints(
+      budgets,
+      HardwareModel(ModelForm::Linear, linalg::Vector{100.0}, 0.0, 0.5),
+      std::nullopt);
+}
+
+std::unique_ptr<Optimizer> make_optimizer(
+    const std::string& key, const HyperParameterSpace& space,
+    Objective& objective, const HardwareConstraints& constraints,
+    const OptimizerOptions& opt) {
+  const ConstraintBudgets budgets = constraints.budgets();
+  if (key == "rand") {
+    return std::make_unique<RandomSearchOptimizer>(space, objective, budgets,
+                                                   &constraints, opt);
+  }
+  if (key == "rand_walk") {
+    return std::make_unique<RandomWalkOptimizer>(space, objective, budgets,
+                                                 &constraints, opt);
+  }
+  if (key == "grid") {
+    GridSearchOptions grid;
+    grid.levels_per_dimension = 3;
+    return std::make_unique<GridSearchOptimizer>(space, objective, budgets,
+                                                 &constraints, opt, grid);
+  }
+  BayesOptOptions bo;
+  bo.initial_design = 3;
+  bo.pool.lattice_points = 120;
+  bo.pool.random_points = 60;
+  std::unique_ptr<AcquisitionFunction> acquisition;
+  if (key == "hw_ieci") {
+    acquisition = std::make_unique<HwIeciAcquisition>();
+  } else {
+    acquisition = std::make_unique<HwCweiAcquisition>();
+  }
+  return std::make_unique<BayesOptOptimizer>(space, objective, budgets,
+                                             &constraints, opt,
+                                             std::move(acquisition), bo);
+}
+
+/// One fresh-stack faulty run; the scenario mirrors the golden-trace
+/// suite (diverging candidates + injected transient faults) so retries,
+/// backoffs, and failure records all appear.
+std::string run_trace_csv(const std::string& key, std::size_t batch) {
+  const HyperParameterSpace space = fake_space();
+  const HardwareConstraints constraints = make_constraints();
+  FakeObjective inner(space);
+  inner.set_diverge_above(0.55);
+  FaultSpec faults;
+  faults.failure_rate = 0.15;
+  faults.seed = 909;
+  FaultInjectingObjective faulty(inner, faults);
+  OptimizerOptions opt;
+  opt.seed = 21;
+  opt.batch_size = batch;
+  opt.num_threads = 4;
+  opt.retry.max_attempts = 3;
+  opt.retry.backoff_initial_s = 5.0;
+  opt.retry.backoff_jitter = 0.1;
+  if (key == "grid") {
+    opt.max_samples = 9;
+  } else if (key == "hw_ieci" || key == "hw_cwei") {
+    opt.max_function_evaluations = 8;
+    opt.max_samples = 48;
+  } else {
+    opt.max_function_evaluations = 12;
+    opt.max_samples = 60;
+  }
+  auto optimizer = make_optimizer(key, space, faulty, constraints, opt);
+  const Optimizer::Result result = optimizer->run();
+  std::ostringstream os;
+  result.trace.write_csv(os);
+  return os.str();
+}
+
+void expect_tracing_invisible(const std::string& key) {
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(key + " batch=" + std::to_string(batch));
+    const std::string dark = run_trace_csv(key, batch);
+    std::string traced;
+    {
+      TracingOn on;
+      traced = run_trace_csv(key, batch);
+      // The run must actually have been traced for the comparison to
+      // mean anything.
+      EXPECT_FALSE(obs::tracer().snapshot().empty());
+    }
+    EXPECT_EQ(traced, dark);
+  }
+}
+
+TEST(TraceDeterminismTest, Rand) { expect_tracing_invisible("rand"); }
+TEST(TraceDeterminismTest, RandWalk) { expect_tracing_invisible("rand_walk"); }
+TEST(TraceDeterminismTest, Grid) { expect_tracing_invisible("grid"); }
+TEST(TraceDeterminismTest, HwIeci) { expect_tracing_invisible("hw_ieci"); }
+TEST(TraceDeterminismTest, HwCwei) { expect_tracing_invisible("hw_cwei"); }
+
+}  // namespace
+}  // namespace hp::core

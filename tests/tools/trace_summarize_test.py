@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/trace_summarize.py (stdlib unittest, ctest-registered).
+
+Covers the trace-tooling contract: the critical-path segments partition the
+root span exactly (coverage 100% on synthetic trees with gaps, nesting, and
+parallel overlap), --check-coverage fails with exit 1 when violated, forest
+building resolves shared span ids by containment, phase self-times subtract
+direct children, instants render in the timeline, and unreadable or
+malformed trace files exit 2.
+"""
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent.parent / "tools"
+sys.path.insert(0, str(TOOLS_DIR))
+
+import trace_summarize  # noqa: E402
+
+
+def span(name, sid, parent, ts, dur, extra=None):
+    args = {"id": sid, "parent": parent}
+    args.update(extra or {})
+    return {"name": name, "ph": "X", "ts": ts, "dur": dur, "pid": 1,
+            "tid": 1, "args": args}
+
+
+def instant(name, ts, extra=None):
+    args = dict(extra or {})
+    return {"name": name, "ph": "i", "ts": ts, "s": "t", "pid": 1, "tid": 1,
+            "args": args}
+
+
+def write_trace(path, events):
+    path.write_text(json.dumps({"displayTimeUnit": "ms",
+                                "traceEvents": events}))
+
+
+def run_main(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = trace_summarize.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+# A realistic little run: root with two rounds, the second round holding
+# two parallel (overlapping) evaluations, plus retry/fault instants.
+SAMPLE_EVENTS = [
+    span("optimizer.run", "0x01", "0x00", 0, 1000),
+    span("optimizer.round", "0x02", "0x01", 100, 300),
+    span("optimizer.round", "0x03", "0x01", 500, 400),
+    span("optimizer.sample.evaluate", "0x04", "0x03", 510, 200,
+         {"sample": 4}),
+    span("optimizer.sample.evaluate", "0x05", "0x03", 560, 300,
+         {"sample": 5}),
+    instant("eval.retry", 620, {"sample": 5, "attempt": 1,
+                                "kind": "transient"}),
+    instant("fault.injected", 615, {"kind": "transient", "attempt": 1}),
+]
+
+
+class CriticalPathTest(unittest.TestCase):
+    def check_partition(self, events):
+        spans, _ = trace_summarize.parse_events(events)
+        roots = trace_summarize.build_forest(spans)
+        root = trace_summarize.pick_root(roots)
+        segments = trace_summarize.critical_path(root)
+        self.assertAlmostEqual(sum(d for _, d in segments), root.dur,
+                               places=6)
+        return root, segments
+
+    def test_segments_partition_root_with_gaps_and_overlap(self):
+        root, segments = self.check_partition(SAMPLE_EVENTS)
+        self.assertEqual(root.name, "optimizer.run")
+        merged = {}
+        for name, dur in segments:
+            merged[name] = merged.get(name, 0.0) + dur
+        # Root self: [0,100) + [400,500) + [900,1000) = 300.
+        self.assertAlmostEqual(merged["optimizer.run"], 300.0)
+        # Round 1 has no children; round 2 self is its pre/post-eval time.
+        self.assertAlmostEqual(merged["optimizer.round"], 300.0 + 10.0 + 40.0)
+        # The two evaluations overlap in [560,710); the second contributes
+        # only its uncovered tail, so evaluate time is 200 + 150.
+        self.assertAlmostEqual(merged["optimizer.sample.evaluate"], 350.0)
+
+    def test_child_exceeding_parent_never_overcounts(self):
+        events = [
+            span("run", "0x01", "0x00", 0, 100),
+            span("late", "0x02", "0x01", 90, 50),  # clock-skewed overhang
+        ]
+        spans, _ = trace_summarize.parse_events(events)
+        roots = trace_summarize.build_forest(spans)
+        # The overhanging child is clamped to its parent's window, so the
+        # partition stays exact (and the clamped tail is the child's).
+        root = trace_summarize.pick_root(roots)
+        self.assertEqual(root.name, "run")
+        segments = trace_summarize.critical_path(root)
+        self.assertAlmostEqual(sum(d for _, d in segments), 100.0)
+        self.assertIn(("late", 10.0), segments)
+
+
+class ForestTest(unittest.TestCase):
+    def test_shared_ids_resolve_to_tightest_containing_occurrence(self):
+        # Two same-id siblings (repeated gp.cholesky pattern); each child
+        # must land in the occurrence whose window contains it.
+        events = [
+            span("run", "0x01", "0x00", 0, 1000),
+            span("fit", "0x09", "0x01", 0, 400),
+            span("fit", "0x09", "0x01", 500, 400),
+            span("chol", "0x0a", "0x09", 100, 100),
+            span("chol", "0x0a", "0x09", 600, 100),
+        ]
+        spans, _ = trace_summarize.parse_events(events)
+        trace_summarize.build_forest(spans)
+        fits = [s for s in spans if s.name == "fit"]
+        for fit in fits:
+            self.assertEqual(len(fit.children), 1)
+            child = fit.children[0]
+            self.assertGreaterEqual(child.start, fit.start)
+            self.assertLessEqual(child.end, fit.end)
+
+    def test_phase_stats_subtract_direct_children(self):
+        spans, _ = trace_summarize.parse_events(SAMPLE_EVENTS)
+        trace_summarize.build_forest(spans)
+        stats = dict(trace_summarize.phase_stats(spans))
+        count, total, self_time = stats["optimizer.round"]
+        self.assertEqual(count, 2)
+        self.assertAlmostEqual(total, 700.0)
+        # Self time clamps at 0 per span: round 1 keeps its full 300, and
+        # round 2 (400 wall, 500 of overlapping children) contributes 0.
+        self.assertAlmostEqual(self_time, 300.0)
+        count, total, self_time = stats["optimizer.run"]
+        self.assertAlmostEqual(self_time, 1000.0 - 700.0)
+
+
+class CliTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.trace = Path(self._tmp.name) / "run.trace.json"
+        write_trace(self.trace, SAMPLE_EVENTS)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_default_summary_exits_ok(self):
+        code, out, _ = run_main([str(self.trace)])
+        self.assertEqual(code, trace_summarize.EXIT_OK)
+        self.assertIn("critical path of optimizer.run", out)
+        self.assertIn("[coverage]", out)
+        self.assertIn("100.0%", out)
+        self.assertIn("optimizer.sample.evaluate", out)
+
+    def test_check_coverage_pass_and_fail(self):
+        code, _, _ = run_main([str(self.trace), "--critical-path",
+                               "--check-coverage", "95"])
+        self.assertEqual(code, trace_summarize.EXIT_OK)
+        # An impossible bar (>100%) must fail with exit 1.
+        code, _, err = run_main([str(self.trace), "--critical-path",
+                                 "--check-coverage", "100.5"])
+        self.assertEqual(code, trace_summarize.EXIT_FAIL)
+        self.assertIn("FAIL", err)
+
+    def test_timeline_lists_instants_in_time_order(self):
+        code, out, _ = run_main([str(self.trace), "--timeline"])
+        self.assertEqual(code, trace_summarize.EXIT_OK)
+        self.assertIn("fault.injected", out)
+        self.assertIn("eval.retry", out)
+        self.assertLess(out.index("fault.injected"), out.index("eval.retry"))
+        self.assertIn("kind=transient", out)
+
+    def test_slowest_ranks_evaluation_spans(self):
+        code, out, _ = run_main([str(self.trace), "--slowest", "1"])
+        self.assertEqual(code, trace_summarize.EXIT_OK)
+        self.assertIn("sample=5", out)
+        self.assertNotIn("sample=4", out)
+
+    def test_missing_file_exits_error(self):
+        code, _, err = run_main([str(self.trace) + ".nope"])
+        self.assertEqual(code, trace_summarize.EXIT_ERROR)
+        self.assertIn("error:", err)
+
+    def test_malformed_json_exits_error(self):
+        self.trace.write_text("{not json")
+        code, _, err = run_main([str(self.trace)])
+        self.assertEqual(code, trace_summarize.EXIT_ERROR)
+        self.assertIn("not valid JSON", err)
+
+    def test_missing_trace_events_exits_error(self):
+        self.trace.write_text(json.dumps({"other": []}))
+        code, _, err = run_main([str(self.trace)])
+        self.assertEqual(code, trace_summarize.EXIT_ERROR)
+        self.assertIn("missing traceEvents", err)
+
+    def test_empty_trace_exits_error(self):
+        write_trace(self.trace, [])
+        code, _, err = run_main([str(self.trace), "--critical-path"])
+        self.assertEqual(code, trace_summarize.EXIT_ERROR)
+        self.assertIn("no spans", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,6 +28,7 @@
 #include <unistd.h>
 
 #include "cli/args.hpp"
+#include "core/contracts.hpp"
 #include "core/fault_injection.hpp"
 #include "core/framework.hpp"
 #include "core/model_io.hpp"
@@ -65,10 +67,21 @@ observability (any command):
   --metrics P     collect counters/histograms, write them as JSON to P
   --progress      force the live progress line (optimize; default on a tty)
   --quiet         suppress the live progress line
+  --trace-out P   record a causal span trace of the run and write it to P
+                  as Chrome trace-event JSON (load in Perfetto or
+                  chrome://tracing); optimize also prints a per-phase
+                  self-time table
+  --trace-ring-kb K
+                  per-thread trace ring capacity in KiB (default 1024;
+                  wrapping drops the oldest spans)
+  --flight-recorder
+                  arm the crash flight recorder: the most recent trace
+                  events are dumped to stderr on a contract violation, a
+                  consecutive-failure abort, or a fatal signal
 
 exit codes:
   0  success (optimize: a best feasible configuration was found)
-  1  no feasible configuration found, or internal error
+  1  no feasible configuration found, contract violation, or internal error
   2  bad arguments
   3  run aborted after repeated evaluation failures
 )");
@@ -76,8 +89,9 @@ exit codes:
 }
 
 /// Flags shared by every subcommand.
-const std::vector<std::string> kObsFlags = {"log-level", "log-file", "metrics",
-                                            "progress", "quiet"};
+const std::vector<std::string> kObsFlags = {
+    "log-level", "log-file",      "metrics",         "progress",
+    "quiet",     "trace-out",     "trace-ring-kb",   "flight-recorder"};
 
 std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
   known.insert(known.end(), kObsFlags.begin(), kObsFlags.end());
@@ -107,11 +121,43 @@ class ObsScope {
       metrics_path_ = *path;
       obs::metrics().set_enabled(true);
     }
+    if (const auto path = args.get("trace-out")) trace_out_ = *path;
+    const bool flight = args.has("flight-recorder");
+    if (!trace_out_.empty() || flight) {
+      obs::TraceConfig config;
+      config.ring_kb = args.get_uint_or("trace-ring-kb", 1024);
+      config.flight_recorder = flight;
+      obs::tracer().start(config);
+      if (flight) obs::flight_recorder().install_fatal_signal_handlers();
+    }
   }
 
   ~ObsScope() {
     obs::logger().flush();
     obs::logger().clear_sinks();
+    // The flight recorder stays armed past this scope on purpose: main()'s
+    // ContractViolation handler still wants to dump it.
+    obs::tracer().stop();
+    if (!trace_out_.empty()) {
+      try {
+        std::ofstream os(trace_out_);
+        if (!os) throw std::runtime_error("cannot open " + trace_out_);
+        obs::tracer().write_chrome_trace(os);
+        const auto dropped =
+            static_cast<unsigned long long>(obs::tracer().dropped_events());
+        if (dropped > 0) {
+          std::fprintf(stderr,
+                       "wrote trace to %s (%llu events dropped by ring "
+                       "wrap; raise --trace-ring-kb)\n",
+                       trace_out_.c_str(), dropped);
+        } else {
+          std::fprintf(stderr, "wrote trace to %s\n", trace_out_.c_str());
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error writing %s: %s\n", trace_out_.c_str(),
+                     e.what());
+      }
+    }
     if (!metrics_path_.empty()) {
       try {
         obs::metrics().write_json_file(metrics_path_);
@@ -129,6 +175,7 @@ class ObsScope {
 
  private:
   std::string metrics_path_;
+  std::string trace_out_;
 };
 
 /// Live one-line progress renderer for `optimize`: consumes the
@@ -556,6 +603,34 @@ int cmd_optimize(const cli::Args& args) {
   } else {
     std::printf("no feasible configuration found\n");
   }
+  if (obs::tracer().enabled()) {
+    // The run is over and the pool joined, so the rings are quiescent and
+    // safe to snapshot.
+    const std::vector<obs::TraceEventView> events = obs::tracer().snapshot();
+    const std::vector<obs::PhaseStat> phases = obs::phase_self_times(events);
+    std::size_t retry_instants = 0;
+    std::size_t fault_instants = 0;
+    for (const obs::TraceEventView& view : events) {
+      if (!view.event.instant || view.event.name == nullptr) continue;
+      if (std::strcmp(view.event.name, "eval.retry") == 0 ||
+          std::strcmp(view.event.name, "eval.failed") == 0) {
+        ++retry_instants;
+      } else if (std::strcmp(view.event.name, "fault.injected") == 0) {
+        ++fault_instants;
+      }
+    }
+    const std::size_t shown = std::min<std::size_t>(phases.size(), 10);
+    std::printf("\ntrace phases (top %zu by self time)\n", shown);
+    std::printf("  %-28s %8s %12s %12s\n", "phase", "count", "self [ms]",
+                "total [ms]");
+    for (std::size_t i = 0; i < shown; ++i) {
+      const obs::PhaseStat& p = phases[i];
+      std::printf("  %-28s %8zu %12.3f %12.3f\n", p.name.c_str(), p.count,
+                  p.self_s * 1e3, p.total_s * 1e3);
+    }
+    std::printf("  %-28s %zu\n", "retry/failure instants", retry_instants);
+    std::printf("  %-28s %zu\n", "fault instants", fault_instants);
+  }
   if (const auto path = args.get("trace")) {
     std::ofstream os(*path);
     if (!os) throw std::runtime_error("cannot open " + *path);
@@ -610,6 +685,14 @@ int main(int argc, char** argv) {
     if (command == "pareto") return cmd_pareto(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
+  } catch (const core::ContractViolation& e) {
+    // A violated invariant: dump the flight recorder (if armed) for
+    // post-mortem context before reporting the internal error.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (obs::flight_recorder().enabled()) {
+      obs::flight_recorder().dump_to_stderr("ContractViolation");
+    }
+    return 1;
   } catch (const std::invalid_argument& e) {
     // Bad arguments (unknown flags, malformed values, mismatched journal).
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -29,6 +29,14 @@ Rules (see DESIGN.md §10 for rationale and how to add one):
                         retry/journal/recording path (DESIGN.md §12).
                         Hardware cost-model evaluate() calls and tests are
                         exempt.
+  trace-name-literal    Span/phase names handed to the tracer (ScopedTimer
+                        constructions, tracer().instant(), begin_span())
+                        must be stable dotted string literals
+                        ("optimizer.round.propose") — never runtime-
+                        formatted strings. The tracer ring stores the
+                        pointer, span IDs hash the name, and the summary
+                        tooling groups by it, so a dynamic name is both a
+                        lifetime bug and a cardinality explosion.
   pragma-once           Every header starts with #pragma once.
   self-include-first    A library .cpp includes its own header first, so
                         each header proves it is self-contained.
@@ -220,6 +228,62 @@ def check_raw_objective_evaluate(path, root, lines, findings):
             "evaluation is retried, journaled, and recorded"))
 
 
+# Call sites that open a span or record an instant: the first argument is
+# the span name. `timer/span .emplace` covers deferred construction of an
+# optional<ScopedTimer>.
+TRACE_NAME_SITES = re.compile(
+    r"(?:\bScopedTimer\s+\w+\s*\(|\bScopedTimer\s*\(|\.instant\s*\(|"
+    r"\bbegin_span\s*\(|\w*(?:timer|span)\w*\.emplace\s*\()")
+# A stable name: a dotted literal, or a ternary choosing between two
+# dotted literals (still a closed, static set of names).
+TRACE_NAME_LITERAL = re.compile(
+    r'^\s*(?:[^"?]+\?\s*)?"[a-z][a-z0-9_.]*"'
+    r'(?:\s*:\s*"[a-z][a-z0-9_.]*")?\s*[,)]')
+
+
+def strip_comment_keep_strings(line: str) -> str:
+    """Drops a // comment while leaving string literals intact."""
+    in_string = False
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 1
+            elif c == '"':
+                in_string = False
+        elif c == '"':
+            in_string = True
+        elif c == "/" and line[i:i + 2] == "//":
+            return line[:i]
+        i += 1
+    return line
+
+
+def check_trace_name_literal(path, root, lines, findings):
+    # The tracer's own sources declare these functions (parameter lists
+    # would false-positive), and tests legitimately probe edge cases.
+    if not in_dir(path, root, "src") or in_dir(path, root, "src", "obs"):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_comment_keep_strings(raw)
+        m = TRACE_NAME_SITES.search(line)
+        if not m:
+            continue
+        rest = line[m.end():]
+        if not rest.strip():
+            # Name on the next line: check it there.
+            rest = strip_comment_keep_strings(
+                lines[lineno]) if lineno < len(lines) else ""
+        if not TRACE_NAME_LITERAL.match(rest.strip()):
+            findings.append(Finding(
+                path, lineno, "trace-name-literal",
+                "span/instant names must be stable dotted string literals "
+                '("optimizer.round.propose"); the tracer stores the pointer '
+                "and groups by name, so runtime-formatted strings are "
+                "forbidden"))
+
+
 def check_pragma_once(path, root, lines, findings):
     if path.suffix not in {".hpp", ".h"}:
         return
@@ -287,6 +351,7 @@ CHECKS = (
     check_exception_swallow,
     check_failure_recording,
     check_raw_objective_evaluate,
+    check_trace_name_literal,
     check_pragma_once,
     check_includes,
 )
