@@ -16,6 +16,17 @@
 // pure function of (seed, batch_size) — never of num_threads — and a run
 // resumed from the journal is bit-identical to an uninterrupted one (the
 // golden-trace suite pins both properties against pre-pipeline captures).
+//
+// Concurrency contract (DESIGN.md §14): the engine owns NO mutex of its
+// own — deliberately. A batched round fans out over disjoint indexed
+// slots (one writer per slot, by construction), the pool's parallel_for
+// barrier publishes them, and the merge reads them single-threaded in
+// canonical order afterwards; shared round state is only read inside
+// tasks. Concurrency primitives live one layer down, in the annotated
+// ThreadPool / ResilientEvaluator / obs types (core/thread_annotations
+// .hpp), so there is no guarded state here for Clang TSA to check — keep
+// it that way: new round-scoped engine state should be per-slot or
+// round-constant, not lock-guarded.
 
 #include <cstdint>
 #include <limits>

@@ -87,7 +87,7 @@ DeadlineRunner::~DeadlineRunner() {
   // Block until every abandoned attempt actually returned; joining without
   // this would terminate(). Simulated hangs are short sleeps, so this is a
   // bounded wait in practice.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& zombie : zombies_) {
     if (zombie->thread.joinable()) zombie->thread.join();
   }
@@ -107,7 +107,7 @@ void DeadlineRunner::reap_finished_locked() {
 }
 
 std::size_t DeadlineRunner::zombie_count() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   reap_finished_locked();
   return zombies_.size();
 }
@@ -115,7 +115,7 @@ std::size_t DeadlineRunner::zombie_count() {
 bool DeadlineRunner::run(const std::function<EvaluationRecord()>& attempt,
                          double deadline_s, EvaluationRecord* out) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     reap_finished_locked();
   }
   auto zombie = std::make_unique<Zombie>();
@@ -139,7 +139,7 @@ bool DeadlineRunner::run(const std::function<EvaluationRecord()>& attempt,
     *out = future.get();  // rethrows the attempt's exception, if any
     return true;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   zombies_.push_back(std::move(zombie));
   return false;
 }

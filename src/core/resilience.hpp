@@ -25,12 +25,12 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/clock.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/objective.hpp"
 #include "stats/rng.hpp"
 
@@ -122,11 +122,15 @@ class DeadlineRunner {
   [[nodiscard]] std::size_t zombie_count();
 
  private:
-  void reap_finished_locked();
+  void reap_finished_locked() HP_REQUIRES(mutex_);
 
   struct Zombie;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Zombie>> zombies_;
+  /// Leaf lock (DESIGN.md §14): guards only the zombie list, never the
+  /// deadline wait itself, so concurrent run() calls only contend on
+  /// bookkeeping. Never held while acquiring another hp::Mutex (the joins
+  /// under it block on threads, not locks).
+  Mutex mutex_;
+  std::vector<std::unique_ptr<Zombie>> zombies_ HP_GUARDED_BY(mutex_);
 };
 
 /// Outcome of one resilient evaluation, for the optimizer's bookkeeping.

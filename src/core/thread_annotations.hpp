@@ -1,0 +1,170 @@
+#pragma once
+// Compile-time concurrency contracts: Clang Thread Safety Analysis (TSA)
+// attribute macros plus the annotated synchronization wrappers every piece
+// of src/ must use instead of the raw std primitives (enforced by the
+// tools/lint.py rule `raw-mutex`; this header is the sanctioned exemption).
+//
+// Under clang with -Wthread-safety (cmake option HYPERPOWER_THREAD_SAFETY,
+// probed at configure time and run as a dedicated CI job) every guarded
+// field access, lock-release path, and declared lock-order edge is checked
+// at compile time; under any other compiler the macros expand to nothing
+// and hp::Mutex / hp::MutexLock / hp::CondVar compile to exactly the std
+// primitives they wrap — zero behavioural or layout difference, so gcc
+// builds (and the golden-trace bit-identity guarantee) are unaffected.
+//
+// Division of labor (DESIGN.md §14): TSA proves lock discipline on *every*
+// path at compile time; TSan (tools/run_tests.sh phase 3) catches races on
+// unannotated state and wrong memory orders at runtime; lint.py keeps new
+// code from bypassing the annotated wrappers. The contract layer itself is
+// regression-tested by tests/compile_fail/ — known-bad snippets must fail
+// to compile with the expected diagnostic.
+//
+// How to annotate new guarded state:
+//   hp::Mutex mutex_;
+//   int value_ HP_GUARDED_BY(mutex_);            // field needs the lock
+//   void helper() HP_REQUIRES(mutex_);           // caller must hold it
+//   void api() HP_EXCLUDES(mutex_);              // caller must NOT hold it
+//   Ptr* p_ HP_PT_GUARDED_BY(mutex_);            // *p_ needs the lock
+//   hp::Mutex outer_ HP_ACQUIRED_BEFORE(inner_); // declared lock order
+// and take locks with hp::MutexLock (RAII) so the analysis sees matched
+// acquire/release on all paths, including unwinding.
+
+#include <condition_variable>
+#include <mutex>
+
+// TSA attributes are a clang extension; __has_attribute guards against
+// exotic clang-derived compilers that lack them.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HP_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef HP_THREAD_ANNOTATION_
+#define HP_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define HP_CAPABILITY(x) HP_THREAD_ANNOTATION_(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define HP_SCOPED_CAPABILITY HP_THREAD_ANNOTATION_(scoped_lockable)
+/// Field may only be read/written while holding the named capability.
+#define HP_GUARDED_BY(x) HP_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee (not the pointer itself) is guarded by the named capability.
+#define HP_PT_GUARDED_BY(x) HP_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release).
+#define HP_REQUIRES(...) \
+  HP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define HP_REQUIRES_SHARED(...) \
+  HP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (held on exit, not on entry).
+#define HP_ACQUIRE(...) HP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define HP_ACQUIRE_SHARED(...) \
+  HP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on exit).
+#define HP_RELEASE(...) HP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define HP_RELEASE_SHARED(...) \
+  HP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define HP_TRY_ACQUIRE(...) \
+  HP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (self-deadlock / re-entrancy guard).
+#define HP_EXCLUDES(...) HP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Declared lock-order edge: this capability is acquired before the named
+/// one(s); inversions become -Wthread-safety-beta diagnostics.
+#define HP_ACQUIRED_BEFORE(...) \
+  HP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define HP_ACQUIRED_AFTER(...) \
+  HP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define HP_RETURN_CAPABILITY(x) HP_THREAD_ANNOTATION_(lock_returned(x))
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define HP_ASSERT_CAPABILITY(x) HP_THREAD_ANNOTATION_(assert_capability(x))
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the contract cannot be expressed instead.
+#define HP_NO_THREAD_SAFETY_ANALYSIS \
+  HP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace hp {
+
+/// std::mutex with the TSA capability attribute. Identical layout and
+/// semantics to std::mutex; the annotations are compile-time only.
+class HP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HP_ACQUIRE() { mutex_.lock(); }
+  void unlock() HP_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() HP_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// The wrapped std::mutex, for CondVar's adopt/release dance only —
+  /// never lock through it directly (that would hide the acquire from the
+  /// analysis and trip the raw-mutex lint rule anyway).
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock for hp::Mutex — the std::lock_guard equivalent the analysis
+/// understands: the capability is held exactly for this object's lifetime,
+/// on every path including exception unwinding.
+class HP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() HP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with hp::Mutex. wait() takes the Mutex whose
+/// capability the caller holds (TSA cannot analyze the predicate lambda of
+/// std::condition_variable::wait(lock, pred), so waits are written as
+/// explicit `while (!cond) cv.wait(mu);` loops with the condition read
+/// under the lock — which is also what the analysis can check).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases @p mutex, waits, and re-acquires before
+  /// returning; the caller's capability is held across the call as far as
+  /// the analysis is concerned (REQUIRES, not RELEASE+ACQUIRE, matching
+  /// the actual invariant at every sequence point the caller can observe).
+  void wait(Mutex& mutex) HP_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// wait() with a timeout; returns std::cv_status::timeout when @p d
+  /// elapsed without a notification.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& d)
+      HP_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, d);
+    lock.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hp

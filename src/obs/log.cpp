@@ -43,7 +43,7 @@ StderrSink::StderrSink(std::ostream* os, bool show_progress_events)
 
 void StderrSink::write(const LogEvent& event) {
   if (!show_progress_events_ && event.name == "optimizer.progress") return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostream& os = os_ != nullptr ? *os_ : std::cerr;
   char head[64];
   std::snprintf(head, sizeof(head), "[%9.3fs %-5s] ", event.wall_s,
@@ -65,7 +65,7 @@ void StderrSink::write(const LogEvent& event) {
 }
 
 void StderrSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   (os_ != nullptr ? *os_ : std::cerr).flush();
 }
 
@@ -73,11 +73,14 @@ void StderrSink::flush() {
 // JsonlSink
 
 struct JsonlSink::Impl {
-  std::mutex mutex;
-  std::ofstream os;
+  Mutex mutex;
+  std::ofstream os HP_GUARDED_BY(mutex);
 };
 
 JsonlSink::JsonlSink(const std::string& path) : impl_(new Impl) {
+  // No other thread can see impl_ yet, but `os` is guarded state and the
+  // uncontended lock keeps the access contract checkable.
+  MutexLock lock(impl_->mutex);
   impl_->os.open(path, std::ios::out | std::ios::trunc);
   if (!impl_->os) {
     throw std::runtime_error("JsonlSink: cannot open " + path);
@@ -93,12 +96,12 @@ void JsonlSink::write(const LogEvent& event) {
   line["event"] = JsonValue(event.name);
   for (const LogField& f : event.fields) line[f.key] = f.value;
   const std::string text = line.dump();
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->os << text << '\n';
 }
 
 void JsonlSink::flush() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->os.flush();
 }
 
@@ -111,7 +114,7 @@ Logger::Logger()
       start_(std::chrono::steady_clock::now()) {}
 
 void Logger::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   level_floor_.store(static_cast<int>(level), std::memory_order_relaxed);
   recompute_threshold_locked();
 }
@@ -122,13 +125,13 @@ LogLevel Logger::level() const noexcept {
 
 void Logger::add_sink(std::shared_ptr<LogSink> sink, LogLevel min_level) {
   if (sink == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_.emplace_back(std::move(sink), min_level);
   recompute_threshold_locked();
 }
 
 void Logger::remove_sink(const std::shared_ptr<LogSink>& sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_.erase(std::remove_if(sinks_.begin(), sinks_.end(),
                               [&](const auto& s) { return s.first == sink; }),
                sinks_.end());
@@ -136,14 +139,22 @@ void Logger::remove_sink(const std::shared_ptr<LogSink>& sink) {
 }
 
 void Logger::clear_sinks() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_.clear();
   recompute_threshold_locked();
 }
 
 void Logger::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [sink, min_level] : sinks_) sink->flush();
+  // Same two-lock discipline as log(): serialize on the dispatch lock,
+  // snapshot the registrations, call the sinks with mutex_ released.
+  MutexLock dispatch(dispatch_mutex_);
+  std::vector<std::shared_ptr<LogSink>> sinks;
+  {
+    MutexLock lock(mutex_);
+    sinks.reserve(sinks_.size());
+    for (const auto& [sink, min_level] : sinks_) sinks.push_back(sink);
+  }
+  for (const auto& sink : sinks) sink->flush();
 }
 
 void Logger::recompute_threshold_locked() {
@@ -166,11 +177,19 @@ void Logger::log(LogLevel level, std::string name,
   event.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  // Dispatch under the mutex: sinks also serialize internally, but holding
-  // the registration lock keeps add/remove_sink safe against concurrent
-  // logging from pool workers.
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [sink, min_level] : sinks_) {
+  // Two-lock dispatch (the declared dispatch_mutex_ -> mutex_ hierarchy,
+  // DESIGN.md §14): the dispatch lock serializes fan-out so every sink
+  // sees the same total event order, while the registration list is only
+  // snapshotted under mutex_ — no sink call ever runs with the
+  // registration lock held, so a sink callback may add/remove sinks
+  // without self-deadlocking (regression-tested in tests/obs/log_test).
+  MutexLock dispatch(dispatch_mutex_);
+  std::vector<std::pair<std::shared_ptr<LogSink>, LogLevel>> sinks;
+  {
+    MutexLock lock(mutex_);
+    sinks = sinks_;
+  }
+  for (const auto& [sink, min_level] : sinks) {
     if (static_cast<int>(event.level) >= static_cast<int>(min_level)) {
       sink->write(event);
     }

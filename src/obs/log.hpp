@@ -18,12 +18,12 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/json.hpp"
 
 namespace hp::obs {
@@ -76,7 +76,9 @@ class StderrSink final : public LogSink {
   void flush() override;
 
  private:
-  std::mutex mutex_;
+  /// Serializes output only (rank 2, DESIGN.md §14: sink-internal locks
+  /// nest inside Logger::dispatch_mutex_, never the other way around).
+  Mutex mutex_;
   std::ostream* os_;  ///< nullptr = std::cerr (resolved at write time)
   bool show_progress_events_;
 };
@@ -112,15 +114,25 @@ class Logger {
   void set_level(LogLevel level);
   [[nodiscard]] LogLevel level() const noexcept;
 
-  /// Registers a sink receiving events at >= @p min_level.
+  /// Registers a sink receiving events at >= @p min_level. Safe to call
+  /// from a sink's own write() (registration takes only mutex_, which
+  /// dispatch never holds across sink calls); the new sink starts
+  /// receiving events with the *next* dispatch.
   void add_sink(std::shared_ptr<LogSink> sink,
                 LogLevel min_level = LogLevel::kTrace);
+  /// Deregisters @p sink. Does not wait for an in-flight dispatch — the
+  /// snapshot taken by log()/flush() keeps the sink alive (shared_ptr)
+  /// until that dispatch completes.
   void remove_sink(const std::shared_ptr<LogSink>& sink);
   void clear_sinks();
-  void flush();
+  void flush() HP_EXCLUDES(dispatch_mutex_, mutex_);
 
   /// Dispatches an event (re-checks enabled(); cheap to call uselessly).
-  void log(LogLevel level, std::string name, std::vector<LogField> fields);
+  /// Dispatch is totally ordered across sinks (serialized on
+  /// dispatch_mutex_); a sink's write() must not log back through the
+  /// logger — that self-deadlocks on the dispatch lock.
+  void log(LogLevel level, std::string name, std::vector<LogField> fields)
+      HP_EXCLUDES(dispatch_mutex_, mutex_);
 
   void trace(std::string name, std::vector<LogField> fields = {}) {
     log(LogLevel::kTrace, std::move(name), std::move(fields));
@@ -139,14 +151,23 @@ class Logger {
   }
 
  private:
-  void recompute_threshold_locked();
+  void recompute_threshold_locked() HP_REQUIRES(mutex_);
 
   /// Effective dispatch threshold: max(level floor, most verbose sink);
   /// kOff when no sinks are attached.
   std::atomic<int> threshold_;
   std::atomic<int> level_floor_;
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::shared_ptr<LogSink>, LogLevel>> sinks_;
+  /// Registration lock (rank 1, DESIGN.md §14): guards the sink list.
+  /// Held only for snapshots and list edits — never across a sink call.
+  mutable Mutex mutex_;
+  /// Dispatch lock (rank 0, the root of the lock hierarchy): serializes
+  /// event/flush fan-out so sinks see a total event order while the
+  /// registration lock stays free — a sink callback may re-enter
+  /// add_sink/remove_sink without deadlocking. The HP_ACQUIRED_BEFORE edge
+  /// makes any future mutex_ → dispatch_mutex_ inversion a compile error.
+  mutable Mutex dispatch_mutex_ HP_ACQUIRED_BEFORE(mutex_);
+  std::vector<std::pair<std::shared_ptr<LogSink>, LogLevel>> sinks_
+      HP_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point start_;
 };
 

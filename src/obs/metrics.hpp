@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/json.hpp"
 
 namespace hp::obs {
@@ -140,10 +140,16 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Leaf lock (DESIGN.md §14): guards only the name->instrument maps
+  /// (fetch-or-create, reset, export); the instruments themselves are
+  /// lock-free atomics, so recording never touches this mutex. Never held
+  /// while acquiring another hp::Mutex.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HP_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry every layer records into.

@@ -289,7 +289,7 @@ struct Tracer::Buffer {
 
 void Tracer::start(const TraceConfig& config) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     buffers_.clear();
     capacity_ = std::max<std::size_t>(
         4, config.ring_kb * 1024 / sizeof(TraceEvent));
@@ -302,7 +302,7 @@ void Tracer::start(const TraceConfig& config) {
 
 void Tracer::reset() {
   enabled_.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffers_.clear();
   generation_.fetch_add(1, std::memory_order_release);
 }
@@ -328,7 +328,7 @@ Tracer::Buffer* Tracer::local_buffer() {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   TlsBuffer& t = tls_buffer;
   if (t.buffer == nullptr || t.generation != gen) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto buf = std::make_unique<Buffer>(capacity_);
     buf->tid = static_cast<std::uint32_t>(buffers_.size());
     t.buffer = buf.get();
@@ -386,7 +386,7 @@ void Tracer::instant(const char* name,
 }
 
 std::vector<TraceEventView> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEventView> out;
   for (const auto& buf : buffers_) {
     const std::uint64_t n = buf->count.load(std::memory_order_acquire);
@@ -400,7 +400,7 @@ std::vector<TraceEventView> Tracer::snapshot() const {
 }
 
 std::uint64_t Tracer::dropped_events() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t dropped = 0;
   for (const auto& buf : buffers_) {
     const std::uint64_t n = buf->count.load(std::memory_order_acquire);

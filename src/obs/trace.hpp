@@ -30,10 +30,11 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace hp::obs {
 
@@ -211,9 +212,18 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> generation_{1};
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
-  std::size_t capacity_ = 4;
+  /// Leaf lock (DESIGN.md §14): guards ring registration and snapshot
+  /// iteration only; recording into a registered ring is lock-free. Never
+  /// held while acquiring another hp::Mutex.
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_ HP_GUARDED_BY(mutex_);
+  std::size_t capacity_ HP_GUARDED_BY(mutex_) = 4;
+  /// Deliberately NOT HP_GUARDED_BY(mutex_): written in start() (under the
+  /// lock, incidentally) but read lock-free by since_epoch_s() on every
+  /// recording thread. Safe under the class contract above — start()/
+  /// stop()/reset() must not run concurrently with recording — which is a
+  /// phase-quiescence invariant TSA cannot express; TSan covers it at
+  /// runtime (tools/run_tests.sh phase 3).
   std::chrono::steady_clock::time_point epoch_{};
 };
 

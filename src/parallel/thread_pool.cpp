@@ -21,11 +21,16 @@ struct ThreadPool::Batch {
   std::uint64_t trace_parent = 0;
   std::atomic<std::size_t> next{0};
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t finished = 0;  ///< guarded by mutex
-  std::exception_ptr error;  ///< guarded by mutex; lowest failing index wins
-  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  // Leaf lock (DESIGN.md §14): guards the completion/error state below and
+  // is never held while acquiring another hp::Mutex.
+  Mutex mutex;
+  CondVar done_cv;
+  std::size_t finished HP_GUARDED_BY(mutex) = 0;
+  /// Lowest failing index wins, so the same exception surfaces at any
+  /// worker count.
+  std::exception_ptr error HP_GUARDED_BY(mutex);
+  std::size_t error_index HP_GUARDED_BY(mutex) =
+      std::numeric_limits<std::size_t>::max();
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads)
@@ -43,7 +48,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -54,8 +59,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -97,7 +102,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   }
   instrument_job(wrapped);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     HP_ASSERT(!stopping_, "ThreadPool::submit during shutdown");
     queue_.emplace_back(std::move(wrapped));
   }
@@ -116,7 +121,7 @@ void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
     try {
       (*batch->body)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(batch->mutex);
+      MutexLock lock(batch->mutex);
       if (i < batch->error_index) {
         batch->error = std::current_exception();
         batch->error_index = i;
@@ -125,7 +130,7 @@ void ThreadPool::run_batch_share(const std::shared_ptr<Batch>& batch) {
     ++done_here;
   }
   if (done_here > 0) {
-    std::lock_guard<std::mutex> lock(batch->mutex);
+    MutexLock lock(batch->mutex);
     batch->finished += done_here;
     HP_ASSERT(batch->finished <= batch->n,
               "ThreadPool batch over-counted finished indices");
@@ -150,8 +155,12 @@ void ThreadPool::parallel_for(std::size_t n,
 
   if (workers_.empty() || n == 1) {
     // Inline execution, same drain-and-rethrow semantics as the threaded
-    // path (every index runs; lowest failing index surfaces).
+    // path (every index runs; lowest failing index surfaces). No other
+    // thread ever saw this batch, but `error` is guarded state and the
+    // uncontended lock keeps the access contract uniform (TSA-surfaced:
+    // this read was previously lock-free).
     run_batch_share(batch);
+    MutexLock lock(batch->mutex);
     if (batch->error) std::rethrow_exception(batch->error);
     return;
   }
@@ -160,7 +169,7 @@ void ThreadPool::parallel_for(std::size_t n,
   // too). A helper that wakes up after the batch drained exits instantly.
   const std::size_t helpers = std::min(workers_.size(), n - 1);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     HP_ASSERT(!stopping_, "ThreadPool::parallel_for during shutdown");
     for (std::size_t i = 0; i < helpers; ++i) {
       std::function<void()> helper = [batch] { run_batch_share(batch); };
@@ -175,8 +184,8 @@ void ThreadPool::parallel_for(std::size_t n,
   // batch.
   run_batch_share(batch);
 
-  std::unique_lock<std::mutex> lock(batch->mutex);
-  batch->done_cv.wait(lock, [&] { return batch->finished == batch->n; });
+  MutexLock lock(batch->mutex);
+  while (batch->finished != batch->n) batch->done_cv.wait(batch->mutex);
   if (batch->error) std::rethrow_exception(batch->error);
 }
 

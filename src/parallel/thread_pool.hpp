@@ -10,16 +10,15 @@
 //  - deterministic failures: when several tasks throw, the exception of the
 //    lowest-indexed failing task is rethrown, regardless of scheduling.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace hp::parallel {
@@ -78,10 +77,12 @@ class ThreadPool {
   void instrument_job(std::function<void()>& job);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  bool stopping_ = false;
+  // Leaf lock (DESIGN.md §14 rank table): never held while acquiring any
+  // other hp::Mutex — jobs run outside it, so a job may freely log/record.
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ HP_GUARDED_BY(queue_mutex_);
+  bool stopping_ HP_GUARDED_BY(queue_mutex_) = false;
 
   // Observability instruments (process-global registry; fetched once).
   obs::Gauge* obs_queue_depth_;

@@ -1,0 +1,54 @@
+// Positive control for the compile-fail harness: a correctly annotated
+// use of every primitive the bad cases abuse — guarded fields behind
+// hp::MutexLock, an HP_REQUIRES helper, a CondVar wait loop, and locks
+// taken in declared order. MUST compile clean under the exact flag set
+// that rejects the *.cpp cases next to it; if it fails, the harness is
+// broken (bad include path, misconfigured flags) and the "expected"
+// failures of the other cases prove nothing.
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+hp::Mutex g_inner;
+hp::Mutex g_outer HP_ACQUIRED_BEFORE(g_inner);
+int g_shared HP_GUARDED_BY(g_outer) = 0;
+
+class Queue {
+ public:
+  void push(int v) {
+    hp::MutexLock lock(mutex_);
+    value_ = v;
+    has_value_ = true;
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] int pop() {
+    hp::MutexLock lock(mutex_);
+    while (!has_value_) cv_.wait(mutex_);
+    has_value_ = false;
+    return value_;
+  }
+
+ private:
+  hp::Mutex mutex_;
+  hp::CondVar cv_;
+  int value_ HP_GUARDED_BY(mutex_) = 0;
+  bool has_value_ HP_GUARDED_BY(mutex_) = false;
+};
+
+void bump_locked() HP_REQUIRES(g_outer) { ++g_shared; }
+
+void ordered_pair() {
+  hp::MutexLock outer(g_outer);
+  bump_locked();
+  hp::MutexLock inner(g_inner);
+}
+
+}  // namespace
+
+int touch_ok() {
+  ordered_pair();
+  Queue queue;
+  queue.push(1);
+  return queue.pop();
+}

@@ -1,0 +1,30 @@
+// compile-fail case: acquiring two mutexes against their declared
+// HP_ACQUIRED_BEFORE order — the compile-time form of a deadlock. Must be
+// rejected by -Werror=thread-safety-beta (the acquired_before/after checks
+// live in the beta group) with a diagnostic matching "must be acquired";
+// if this compiles, declared lock hierarchies (e.g. Logger's
+// dispatch_mutex_ -> mutex_ edge, DESIGN.md §14) are no longer enforced.
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+hp::Mutex g_inner;
+hp::Mutex g_outer HP_ACQUIRED_BEFORE(g_inner);
+
+void correct_order() {
+  hp::MutexLock outer(g_outer);
+  hp::MutexLock inner(g_inner);
+}
+
+// BAD: takes the inner lock first — inverted against the declared edge.
+void inverted_order() {
+  hp::MutexLock inner(g_inner);
+  hp::MutexLock outer(g_outer);
+}
+
+}  // namespace
+
+void touch_order() {
+  correct_order();
+  inverted_order();
+}

@@ -1,0 +1,24 @@
+// compile-fail case: a path that returns with the mutex still held. Must
+// be rejected by -Werror=thread-safety with a diagnostic matching "still
+// held at the end of function"; if this compiles, the acquire/release
+// matching of core/thread_annotations.hpp is no longer enforced — exactly
+// the class of bug hp::MutexLock exists to make impossible.
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+hp::Mutex g_mutex;
+int g_value HP_GUARDED_BY(g_mutex) = 0;
+
+// BAD: the early return leaks the lock (manual lock/unlock instead of
+// hp::MutexLock).
+void set_if(bool flag, int v) {
+  g_mutex.lock();
+  if (flag) return;
+  g_value = v;
+  g_mutex.unlock();
+}
+
+}  // namespace
+
+void touch_set_if(bool flag) { set_if(flag, 1); }

@@ -1,0 +1,32 @@
+// compile-fail case: reading an HP_GUARDED_BY field without holding its
+// mutex. Must be rejected by -Werror=thread-safety with a diagnostic
+// matching "requires holding mutex" (see CMakeLists.txt in this
+// directory); if this snippet ever compiles, the guarded-access contract
+// of core/thread_annotations.hpp has silently stopped being enforced.
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // BAD: reads guarded state with no lock held.
+  [[nodiscard]] int balance() const { return value_; }
+
+  void deposit(int amount) {
+    hp::MutexLock lock(mutex_);
+    value_ += amount;
+  }
+
+ private:
+  mutable hp::Mutex mutex_;
+  int value_ HP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+// Anchor so the TU is not empty under STATIC_LIBRARY try_compile.
+int touch_account() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

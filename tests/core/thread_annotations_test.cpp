@@ -1,0 +1,147 @@
+// Behavioural tests for the annotated synchronization wrappers in
+// core/thread_annotations.hpp: hp::Mutex / hp::MutexLock / hp::CondVar
+// must be drop-in equivalents of the std primitives they wrap (the
+// annotations themselves are compile-time only; their enforcement is
+// exercised by tests/compile_fail/ under clang). These tests are written
+// to be clean under -Wthread-safety too — e.g. try_lock results are
+// always branched on — since the test tree builds with the analysis on in
+// the thread-safety CI job.
+
+#include "core/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  hp::Mutex mutex;
+  mutex.lock();
+  mutex.unlock();
+  // Reacquirable after release.
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  hp::Mutex mutex;
+  mutex.lock();
+  bool acquired = true;
+  std::thread prober([&] {
+    if (mutex.try_lock()) {
+      mutex.unlock();
+    } else {
+      acquired = false;
+    }
+  });
+  prober.join();
+  mutex.unlock();
+  EXPECT_FALSE(acquired);
+}
+
+TEST(MutexLockTest, ReleasesOnScopeExit) {
+  hp::Mutex mutex;
+  {
+    hp::MutexLock lock(mutex);
+  }
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(MutexLockTest, ReleasesDuringUnwind) {
+  hp::Mutex mutex;
+  try {
+    hp::MutexLock lock(mutex);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(MutexLockTest, MutualExclusionUnderContention) {
+  hp::Mutex mutex;
+  int counter = 0;  // guarded by convention here; the point is the count
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        hp::MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  hp::Mutex mutex;
+  hp::CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread consumer([&] {
+    hp::MutexLock lock(mutex);
+    while (!ready) cv.wait(mutex);
+    observed = 42;
+  });
+  {
+    hp::MutexLock lock(mutex);
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotification) {
+  hp::Mutex mutex;
+  hp::CondVar cv;
+  hp::MutexLock lock(mutex);
+  const std::cv_status status =
+      cv.wait_for(mutex, std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  hp::Mutex mutex;
+  hp::CondVar cv;
+  bool go = false;
+  int woken = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      hp::MutexLock lock(mutex);
+      while (!go) cv.wait(mutex);
+      ++woken;
+    });
+  }
+  {
+    hp::MutexLock lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woken, kWaiters);
+}
+
+TEST(ThreadAnnotationsTest, MacrosAreTransparentOffClang) {
+  // The annotation macros must never change observable semantics; this
+  // pins the wrappers as plain wrappers (native() is the std::mutex).
+  hp::Mutex mutex;
+  mutex.lock();
+  EXPECT_FALSE(mutex.native().try_lock());
+  mutex.unlock();
+  EXPECT_TRUE(mutex.native().try_lock());
+  mutex.native().unlock();
+}
+
+}  // namespace

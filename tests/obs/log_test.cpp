@@ -113,6 +113,47 @@ TEST(LoggerTest, PerSinkMinimumLevelsFilterDispatch) {
   EXPECT_GE(debug_sink->events[1].wall_s, debug_sink->events[0].wall_s);
 }
 
+/// A sink whose write() re-enters the logger's registration API — the
+/// pattern that deadlocked when dispatch ran under the registration lock.
+class ReentrantSink final : public LogSink {
+ public:
+  explicit ReentrantSink(Logger* logger) : logger_(logger) {}
+  void write(const LogEvent& event) override {
+    names.push_back(event.name);
+    if (!added_) {
+      added_ = true;
+      late_sink_ = std::make_shared<RecordingSink>();
+      logger_->add_sink(late_sink_, LogLevel::kTrace);
+    }
+  }
+  std::vector<std::string> names;
+  std::shared_ptr<RecordingSink> late_sink_;
+
+ private:
+  Logger* logger_;
+  bool added_ = false;
+};
+
+// Regression test for the lock hierarchy surfaced by the thread-safety
+// annotations (DESIGN.md §14): dispatch used to run while holding the
+// registration mutex, so a sink registering another sink from write()
+// self-deadlocked. With dispatch_mutex_ -> mutex_ split, re-entrant
+// registration must complete, and the late sink joins from the NEXT
+// event (dispatch snapshots the sink list before fan-out).
+TEST(LoggerTest, SinkMayRegisterSinksFromWrite) {
+  Logger lg;
+  auto sink = std::make_shared<ReentrantSink>(&lg);
+  lg.add_sink(sink, LogLevel::kTrace);
+
+  lg.info("first");   // triggers the add_sink from inside write()
+  lg.info("second");  // first event the late sink can observe
+
+  ASSERT_EQ(sink->names.size(), 2u);
+  ASSERT_NE(sink->late_sink_, nullptr);
+  ASSERT_EQ(sink->late_sink_->events.size(), 1u);
+  EXPECT_EQ(sink->late_sink_->events[0].name, "second");
+}
+
 TEST(JsonlSinkTest, ThrowsWhenFileCannotBeOpened) {
   EXPECT_THROW(JsonlSink("/nonexistent-dir/log.jsonl"), std::runtime_error);
 }

@@ -37,6 +37,17 @@ Rules (see DESIGN.md §10 for rationale and how to add one):
                         pointer, span IDs hash the name, and the summary
                         tooling groups by it, so a dynamic name is both a
                         lifetime bug and a cardinality explosion.
+  raw-mutex             Library code (src/) must synchronize through the
+                        annotated wrappers in core/thread_annotations.hpp
+                        (hp::Mutex / hp::MutexLock / hp::CondVar) — never
+                        raw std::mutex, std::lock_guard, std::unique_lock,
+                        std::condition_variable, or their headers. A raw
+                        primitive is invisible to Clang thread-safety
+                        analysis, so guarded state behind it silently
+                        drops out of the compile-time contract
+                        (DESIGN.md §14). The annotation header itself is
+                        the one sanctioned exception: it wraps the std
+                        primitives.
   pragma-once           Every header starts with #pragma once.
   self-include-first    A library .cpp includes its own header first, so
                         each header proves it is self-contained.
@@ -284,6 +295,40 @@ def check_trace_name_literal(path, root, lines, findings):
                 "forbidden"))
 
 
+# Raw std synchronization primitives and the headers that provide them.
+# Declaration-position uses (members, locals, includes) all match; the
+# wrappers in core/thread_annotations.hpp are the sanctioned owner.
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b|"
+    r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"std::condition_variable(?:_any)?\b")
+RAW_MUTEX_INCLUDE = {"mutex", "shared_mutex", "condition_variable"}
+RAW_MUTEX_ALLOWED = ("src", "core", "thread_annotations.hpp")
+
+
+def check_raw_mutex(path, root, lines, findings):
+    if not in_dir(path, root, "src") or in_dir(path, root, *RAW_MUTEX_ALLOWED):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        m = INCLUDE_RE.match(line)
+        if m:
+            if m.group(1) == "<" and m.group(2) in RAW_MUTEX_INCLUDE:
+                findings.append(Finding(
+                    path, lineno, "raw-mutex",
+                    f"<{m.group(2)}> provides raw synchronization "
+                    "primitives; include core/thread_annotations.hpp and "
+                    "use hp::Mutex / hp::MutexLock / hp::CondVar"))
+            continue
+        if RAW_MUTEX_RE.search(line):
+            findings.append(Finding(
+                path, lineno, "raw-mutex",
+                "raw std synchronization is invisible to Clang "
+                "thread-safety analysis; use the annotated hp::Mutex / "
+                "hp::MutexLock / hp::CondVar wrappers from "
+                "core/thread_annotations.hpp (DESIGN.md §14)"))
+
+
 def check_pragma_once(path, root, lines, findings):
     if path.suffix not in {".hpp", ".h"}:
         return
@@ -352,6 +397,7 @@ CHECKS = (
     check_failure_recording,
     check_raw_objective_evaluate,
     check_trace_name_literal,
+    check_raw_mutex,
     check_pragma_once,
     check_includes,
 )

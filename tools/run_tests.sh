@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Tier-1 verification wrapper, five phases (see tests/README.md):
+# Tier-1 verification wrapper, six phases (see tests/README.md):
 #   1. default build + full ctest suite
 #   2. ThreadSanitizer rebuild of the concurrency + resilience suites
 #      (test_parallel, test_obs, test_resilience, test_integration), run
@@ -10,8 +10,12 @@
 #      determinism regression, not bad luck), plus an end-to-end CLI
 #      crash/resume exercise compared bit-for-bit
 #   5. UndefinedBehaviorSanitizer rebuild (non-recoverable), full ctest
+#   6. thread-safety phase: a clang build with -Werror=thread-safety
+#      enforcing the annotation contracts in core/thread_annotations.hpp,
+#      including the tests/compile_fail/ negative-compilation harness
 # plus the project lint gate. Run from anywhere; builds land in the repo
-# root as build/, build-tsan/, build-asan/, build-ubsan/ (all gitignored).
+# root as build/, build-tsan/, build-asan/, build-ubsan/,
+# build-thread-safety/ (all gitignored).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -110,5 +114,37 @@ echo "crash/resume trace and journal bit-identical"
 echo "== tier 1: UndefinedBehaviorSanitizer pass (full suite) =="
 UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}" \
   sanitizer_ctest_phase "UndefinedBehaviorSanitizer" undefined build-ubsan
+
+echo "== tier 1: thread-safety pass (clang -Werror=thread-safety) =="
+# Clang is the only compiler with thread-safety analysis; hunt for one
+# (CLANGXX overrides, then clang++ and versioned names) and verify it
+# actually accepts the flag before configuring. No clang is a toolchain
+# gap, reported with the same skip-impossible pattern as the sanitizers.
+ts_cxx=""
+for candidate in "${CLANGXX:-}" clang++ clang++-21 clang++-20 clang++-19 \
+    clang++-18 clang++-17 clang++-16 clang++-15; do
+  [ -n "$candidate" ] || continue
+  command -v "$candidate" >/dev/null 2>&1 || continue
+  printf 'int main() { return 0; }\n' > "$probe_dir/ts_probe.cpp"
+  if "$candidate" -Wthread-safety -Werror=thread-safety -fsyntax-only \
+      "$probe_dir/ts_probe.cpp" 2> "$probe_dir/ts_probe.err"; then
+    ts_cxx=$candidate
+    break
+  fi
+done
+if [ -z "$ts_cxx" ]; then
+  echo "ERROR: no clang++ with -Wthread-safety support found (set CLANGXX" >&2
+  echo "       to override the search);" >&2
+  echo "       skip-impossible: the thread-safety phase cannot run on" >&2
+  echo "       this toolchain." >&2
+  exit 1
+fi
+# The annotated build must be warning-clean under -Werror=thread-safety,
+# and the configure step runs the tests/compile_fail/ harness: each bad
+# snippet must be rejected with its expected diagnostic.
+cmake -B build-thread-safety -S . -DCMAKE_CXX_COMPILER="$ts_cxx" \
+  -DHYPERPOWER_THREAD_SAFETY=ON \
+  -DHYPERPOWER_BUILD_BENCHES=OFF -DHYPERPOWER_BUILD_EXAMPLES=OFF
+cmake --build build-thread-safety -j "$jobs"
 
 echo "== all tier-1 checks passed =="
