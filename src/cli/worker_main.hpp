@@ -1,0 +1,16 @@
+#pragma once
+// Entry point of the hpo-worker fleet process (DESIGN.md §15): builds the
+// same evaluation stack as `hyperpower optimize` (cli/objective_setup),
+// then serves the line-framed job protocol (dist/wire) over stdin/stdout
+// until quit or EOF. stdout is the protocol channel — everything written
+// there is a frame via write(2); diagnostics go to the inherited stderr.
+//
+// Exit codes: 0 clean shutdown (quit frame or scheduler EOF), 1 internal
+// error (objective construction failed, protocol write error), 2 bad
+// arguments.
+
+namespace hp::cli {
+
+[[nodiscard]] int worker_main(int argc, const char* const* argv);
+
+}  // namespace hp::cli

@@ -1,0 +1,34 @@
+#include "core/checksum.hpp"
+
+#include <array>
+
+namespace hp::core {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> build_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = build_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrc32Table[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8U);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace hp::core

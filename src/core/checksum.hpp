@@ -1,0 +1,23 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the torn-write
+// detectors: every journal v2 record line and every fleet wire frame
+// (src/dist/wire.hpp) carries a checksum so a partially-flushed or
+// corrupted line is *detected* — deterministically rejected — instead of
+// being mistaken for a shorter-but-valid record. The implementation is the
+// standard table-driven byte loop; the table is built once at first use.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hp::core {
+
+/// CRC-32 of @p size bytes at @p data (initial value 0, standard
+/// init/final XOR with 0xFFFFFFFF folded in).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view text) noexcept {
+  return crc32(text.data(), text.size());
+}
+
+}  // namespace hp::core

@@ -55,6 +55,19 @@ EvaluationEngine::EvaluationEngine(
   if (options_.num_threads == 0) {
     throw std::invalid_argument("EvaluationEngine: num_threads must be > 0");
   }
+  if (options_.dispatcher != nullptr) {
+    if (options_.batch_size == 1) {
+      throw std::invalid_argument(
+          "EvaluationEngine: fleet dispatch requires batch_size > 1 "
+          "(sequential mode consumes a single shared RNG stream that a "
+          "remote worker cannot reproduce)");
+    }
+    if (!objective_.supports_concurrent_evaluation()) {
+      throw std::invalid_argument(
+          "EvaluationEngine: fleet dispatch requires an objective with "
+          "concurrent (index-pure detached) evaluation");
+    }
+  }
 }
 
 const HardwareConstraints* EvaluationEngine::active_constraints()
@@ -271,11 +284,16 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
   // [0, trace.size()).
   std::size_t next_sample = recorder_.trace().size();
 
+  // Fleet mode hands rounds to the dispatcher's worker processes; the
+  // engine thread then only proposes, filters, and merges, so no pool is
+  // spawned.
+  const bool fleet = options_.dispatcher != nullptr;
+
   // num_threads counts the threads doing work; the calling thread
   // participates in every round, so K threads = K-1 pool workers.
   // Sequential mode evaluates on the engine thread and spawns no pool.
   std::optional<parallel::ThreadPool> pool;
-  if (batched) pool.emplace(options_.num_threads - 1);
+  if (batched && !fleet) pool.emplace(options_.num_threads - 1);
   const bool concurrent_eval =
       batched && objective_.supports_concurrent_evaluation();
   const HardwareConstraints* filter =
@@ -332,6 +350,13 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
       bool deferred_evaluation = false;
     };
     std::vector<Slot> slots(count);
+    const auto mark_filtered = [&](Slot& slot, Configuration config) {
+      slot.record.config = std::move(config);
+      slot.record.status = EvaluationStatus::ModelFiltered;
+      slot.record.test_error = 1.0;
+      slot.record.violates_constraints = true;  // violating *by prediction*
+      slot.record.cost_s = options_.model_filter_overhead_s;
+    };
     const auto prepare = [&](std::size_t j) {
       stats::Rng rng(stats::stream_seed(options_.seed, round_base + j));
       Configuration config =
@@ -339,11 +364,7 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
       Slot& slot = slots[j];
       if (filter != nullptr &&
           !filter->predicted_feasible(space_.structural_vector(config))) {
-        slot.record.config = std::move(config);
-        slot.record.status = EvaluationStatus::ModelFiltered;
-        slot.record.test_error = 1.0;
-        slot.record.violates_constraints = true;  // violating *by prediction*
-        slot.record.cost_s = options_.model_filter_overhead_s;
+        mark_filtered(slot, std::move(config));
         return;
       }
       if (concurrent_eval) {
@@ -360,7 +381,49 @@ RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
         slot.deferred_evaluation = true;
       }
     };
-    if (batched) {
+    if (fleet) {
+      // Fleet round: propose + filter on the engine thread (the per-sample
+      // streams are read-only to shared state, so sequential
+      // materialization is bit-identical to the pool's), then dispatch the
+      // surviving candidates and bind the returned records back by slot.
+      // The engine re-stamps record.config from its own copy — results,
+      // not configurations, are what must survive the wire.
+      std::vector<RoundJob> jobs;
+      std::vector<std::size_t> job_slot;
+      for (std::size_t j = 0; j < count; ++j) {
+        stats::Rng rng(stats::stream_seed(options_.seed, round_base + j));
+        Configuration config = proposals.empty() ? proposer_.propose(rng)
+                                                 : std::move(proposals[j]);
+        Slot& slot = slots[j];
+        if (filter != nullptr &&
+            !filter->predicted_feasible(space_.structural_vector(config))) {
+          mark_filtered(slot, std::move(config));
+          continue;
+        }
+        jobs.push_back(RoundJob{round_base + j, config});
+        job_slot.push_back(j);
+        slot.record.config = std::move(config);
+      }
+      if (!jobs.empty()) {
+        obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
+                                        &LoopMetrics::get().round_evaluate_s,
+                                        obs::LogLevel::kTrace, round_base);
+        std::vector<EvaluationRecord> records =
+            options_.dispatcher->evaluate_round(std::move(jobs));
+        if (records.size() != job_slot.size()) {
+          throw std::runtime_error(
+              "EvaluationEngine: dispatcher returned " +
+              std::to_string(records.size()) + " records for " +
+              std::to_string(job_slot.size()) + " jobs");
+        }
+        for (std::size_t k = 0; k < records.size(); ++k) {
+          Slot& slot = slots[job_slot[k]];
+          Configuration config = std::move(slot.record.config);
+          slot.record = std::move(records[k]);
+          slot.record.config = std::move(config);
+        }
+      }
+    } else if (batched) {
       obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
                                       &LoopMetrics::get().round_evaluate_s,
                                       obs::LogLevel::kTrace, round_base);

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/acquisition.hpp"
+#include "core/dispatch.hpp"
 #include "core/objective.hpp"
 #include "core/resilience.hpp"
 #include "core/run_recorder.hpp"
@@ -91,6 +92,16 @@ struct OptimizerOptions {
   /// Worker threads evaluating a round (used only when batch_size > 1;
   /// 1 = evaluate the round on the calling thread).
   std::size_t num_threads = 1;
+
+  /// Fleet mode: when set, batched rounds are evaluated by this dispatcher
+  /// (a process fleet — src/dist/job_scheduler.hpp) instead of the
+  /// in-process thread pool. Non-owning; must outlive the run. Requires
+  /// batch_size > 1 and an objective that supports concurrent evaluation
+  /// (jobs must be index-pure for redispatch after a worker loss to be
+  /// safe) — the engine constructor throws otherwise. Proposal, filtering,
+  /// and merge stay on the engine thread, so the trace remains a pure
+  /// function of (seed, batch_size) — never of worker count or scheduling.
+  RoundDispatcher* dispatcher = nullptr;
 
   /// Resilience: retry/timeout/backoff applied to every evaluation
   /// (core/resilience.hpp). With the defaults, an objective exception is

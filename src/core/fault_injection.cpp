@@ -19,6 +19,27 @@ std::uint64_t hash_configuration(const Configuration& config) noexcept {
   return h;
 }
 
+std::optional<WorkerFault> scheduled_worker_fault(
+    const FaultSpec& spec, std::size_t sample_index,
+    std::size_t dispatch_attempt) noexcept {
+  // Distinct salt keeps the process-level chaos stream independent of the
+  // evaluation fault stream even when both use the same spec seed.
+  constexpr std::uint64_t kWorkerFaultSalt = 0x5bf0a8b145769265ULL;
+  stats::Rng rng(stats::stream_seed(
+      spec.seed ^ kWorkerFaultSalt,
+      stats::splitmix64(sample_index) ^ dispatch_attempt));
+  const double u = rng.uniform();
+  if (u < spec.worker_kill_rate) return WorkerFault::Kill;
+  if (u < spec.worker_kill_rate + spec.worker_hang_rate) {
+    return WorkerFault::Hang;
+  }
+  if (u < spec.worker_kill_rate + spec.worker_hang_rate +
+              spec.reply_corrupt_rate) {
+    return WorkerFault::CorruptReply;
+  }
+  return std::nullopt;
+}
+
 std::optional<FailureKind> FaultInjectingObjective::scheduled_fault(
     const Configuration& config, std::size_t attempt) const {
   stats::Rng rng(stats::stream_seed(

@@ -37,7 +37,32 @@ struct FaultSpec {
   /// Virtual cost charged for each injected failed attempt (a crashed
   /// training run still burned GPU time before dying).
   double failed_attempt_cost_s = 5.0;
+
+  // Process-level chaos, honored by the fleet worker (src/cli/worker_main)
+  // rather than the objective decorator: the scheduled fault fires while
+  // the worker is evaluating the given sample, exercising the scheduler's
+  // Lost/requeue paths. Rates are per (sample, dispatch attempt), so a
+  // requeued job can hit a second fault on its retry.
+  /// Probability the worker SIGKILLs itself mid-evaluation.
+  double worker_kill_rate = 0.0;
+  /// Probability the worker stops heartbeating and wedges (scheduler must
+  /// declare it Lost and SIGKILL it).
+  double worker_hang_rate = 0.0;
+  /// Probability the worker corrupts its result frame (one payload byte
+  /// flipped after the checksum is computed).
+  double reply_corrupt_rate = 0.0;
 };
+
+/// A process-level fault the chaos schedule assigns to one dispatch.
+enum class WorkerFault { Kill, Hang, CorruptReply };
+
+/// The worker fault scheduled for (spec seed, sample, dispatch attempt),
+/// or nullopt. Pure — the scheduler and the worker can both compute it,
+/// and CI can predict how many workers a chaos run must lose. Checked in
+/// order kill, hang, corrupt from one uniform draw per dispatch.
+[[nodiscard]] std::optional<WorkerFault> scheduled_worker_fault(
+    const FaultSpec& spec, std::size_t sample_index,
+    std::size_t dispatch_attempt) noexcept;
 
 /// Objective decorator that injects EvalFailures per the spec, delegating
 /// everything else to the wrapped objective. The attempt index comes from

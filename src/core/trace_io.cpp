@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/checksum.hpp"
 #include "obs/log.hpp"
 #include "obs/span.hpp"
 
@@ -172,19 +173,7 @@ void EvalJournal::FileCloser::operator()(std::FILE* f) const noexcept {
   if (f != nullptr) std::fclose(f);
 }
 
-namespace {
-
-constexpr const char* kJournalMagic = "hpjournal";
-constexpr const char* kJournalVersion = "v1";
-
-std::string journal_header_line(const JournalHeader& header) {
-  std::ostringstream os;
-  os << kJournalMagic << ',' << kJournalVersion << ',' << header.method << ','
-     << header.seed << ',' << header.batch_size;
-  return os.str();
-}
-
-std::string journal_record_line(const EvaluationRecord& r) {
+std::string format_record_line(const EvaluationRecord& r) {
   std::ostringstream os;
   os << "r," << r.index << ',' << format_double(r.timestamp_s) << ','
      << to_string(r.status) << ',' << format_double(r.test_error) << ','
@@ -213,9 +202,8 @@ std::string journal_record_line(const EvaluationRecord& r) {
   return os.str();
 }
 
-/// Parses one "r,..." journal line; throws via fail_journal on corruption.
-EvaluationRecord parse_journal_record(const std::string& line,
-                                      std::size_t line_number) {
+EvaluationRecord parse_record_line(const std::string& line,
+                                   std::size_t line_number) {
   const auto fields = split_csv_row(line);
   const auto bad = [line_number](const std::string& what) {
     fail_journal("line " + std::to_string(line_number) + ": " + what);
@@ -254,6 +242,51 @@ EvaluationRecord parse_journal_record(const std::string& line,
     bad(e.what());
   }
   return r;
+}
+
+namespace {
+
+constexpr const char* kJournalMagic = "hpjournal";
+constexpr const char* kJournalVersionV1 = "v1";
+constexpr const char* kJournalVersionV2 = "v2";
+
+std::string journal_header_line(const JournalHeader& header) {
+  std::ostringstream os;
+  os << kJournalMagic << ',' << kJournalVersionV2 << ',' << header.method << ','
+     << header.seed << ',' << header.batch_size;
+  return os.str();
+}
+
+/// v2 record line: the record body followed by ",#<8-hex crc32 of body>".
+/// The checksum turns "does the text still parse" into "is this the exact
+/// text that was written", which is what catches a torn middle write whose
+/// truncation happens to land on a field boundary.
+std::string checksummed_record_line(const EvaluationRecord& r) {
+  std::string body = format_record_line(r);
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, ",#%08x", crc32(body));
+  return body + suffix;
+}
+
+/// Splits a v2 line into body + checksum field, verifies the checksum, and
+/// returns the body. Throws via fail_journal on a missing or wrong
+/// checksum — the caller decides whether that is a droppable torn tail
+/// (final line) or fatal corruption (anything earlier).
+std::string verify_checksummed_line(const std::string& line,
+                                    std::size_t line_number) {
+  const auto hash_pos = line.rfind(",#");
+  if (hash_pos == std::string::npos || line.size() != hash_pos + 10) {
+    fail_journal("line " + std::to_string(line_number) +
+                 ": missing record checksum");
+  }
+  const std::string body = line.substr(0, hash_pos);
+  char expected[16];
+  std::snprintf(expected, sizeof expected, "%08x", crc32(body));
+  if (line.compare(hash_pos + 2, 8, expected) != 0) {
+    fail_journal("line " + std::to_string(line_number) +
+                 ": record checksum mismatch");
+  }
+  return body;
 }
 
 [[nodiscard]] std::FILE* open_journal_for_write(const std::string& path) {
@@ -306,9 +339,11 @@ JournalLoadResult EvalJournal::load(const std::string& path) {
   if (!std::getline(is, line)) fail_journal("empty file '" + path + "'");
   const auto header_fields = split_csv_row(line);
   if (header_fields.size() != 5 || header_fields[0] != kJournalMagic ||
-      header_fields[1] != kJournalVersion) {
+      (header_fields[1] != kJournalVersionV1 &&
+       header_fields[1] != kJournalVersionV2)) {
     fail_journal("bad header in '" + path + "'");
   }
+  const bool checksummed = header_fields[1] == kJournalVersionV2;
   JournalLoadResult result;
   result.header.method = header_fields[2];
   try {
@@ -327,8 +362,10 @@ JournalLoadResult EvalJournal::load(const std::string& path) {
   }
   for (std::size_t i = 0; i < rows.size(); ++i) {
     try {
-      result.records.push_back(
-          parse_journal_record(rows[i].second, rows[i].first));
+      const std::string body =
+          checksummed ? verify_checksummed_line(rows[i].second, rows[i].first)
+                      : rows[i].second;
+      result.records.push_back(parse_record_line(body, rows[i].first));
     } catch (const std::runtime_error& e) {
       if (i + 1 != rows.size()) throw;  // mid-file corruption stays fatal
       result.dropped_lines = 1;
@@ -347,7 +384,7 @@ void EvalJournal::append(const EvaluationRecord& record) {
   if (!active()) return;
   obs::ScopedTimer fsync_span("journal.fsync", nullptr, obs::LogLevel::kTrace,
                               record.index);
-  write_journal_line(file_.get(), path_, journal_record_line(record));
+  write_journal_line(file_.get(), path_, checksummed_record_line(record));
 }
 
 }  // namespace hp::core

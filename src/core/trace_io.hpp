@@ -38,6 +38,19 @@ namespace hp::core {
 void save_trace_csv_file(const RunTrace& trace, const std::string& path);
 [[nodiscard]] RunTrace load_trace_csv_file(const std::string& path);
 
+/// Serializes one evaluation record — configuration included, doubles
+/// printed round-trip exact ("%.17g") — as the line-framed form shared by
+/// the journal and the fleet wire protocol (src/dist/wire.hpp): parsing
+/// the text recovers identical bit patterns, which is what lets a worker
+/// process hand a record back to the scheduler without perturbing the
+/// golden-trace guarantee.
+[[nodiscard]] std::string format_record_line(const EvaluationRecord& record);
+
+/// Parses a line produced by format_record_line. @p line_number only
+/// flavors the error message. Throws std::runtime_error on corruption.
+[[nodiscard]] EvaluationRecord parse_record_line(const std::string& line,
+                                                 std::size_t line_number);
+
 /// Identity of the run a journal belongs to. Checked on resume: replaying
 /// a journal into a differently-configured run would silently corrupt the
 /// determinism guarantee, so a mismatch throws instead.
@@ -61,6 +74,13 @@ struct JournalLoadResult {
 /// at most one torn line. A default-constructed journal is inactive and
 /// append() is a no-op, which lets the optimizer write journal code
 /// unconditionally.
+///
+/// Format versions: new journals are written as `hpjournal,v2`, whose
+/// record lines end in a `#crc32` field over the record body — a torn
+/// *middle* write (a crashed fleet merge, a disk that reordered flushes)
+/// is detected by the checksum and rejected deterministically even when
+/// the truncated text happens to still parse. v1 journals (no checksums)
+/// remain loadable; only their unparseable corruption is detectable.
 class EvalJournal {
  public:
   EvalJournal() = default;

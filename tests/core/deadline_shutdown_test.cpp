@@ -1,0 +1,124 @@
+// Shutdown-safety tests for the deadline machinery: a timed-out attempt's
+// thread keeps running after run() returns false, so destroying the
+// DeadlineRunner (or the ResilientEvaluator that owns one) must join every
+// abandoned thread *before* the state those threads capture goes out of
+// scope. These tests ride test_resilience so CI's TSan phase checks them
+// for access-after-free / data races, not just for the ordering asserted
+// here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/objective.hpp"
+#include "core/resilience.hpp"
+
+namespace hp::core {
+namespace {
+
+EvaluationRecord sleep_then_mark(std::atomic<int>& finished, int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  finished.fetch_add(1, std::memory_order_release);
+  return EvaluationRecord{};
+}
+
+TEST(DeadlineRunnerShutdown, DestructionJoinsTheAbandonedAttempt) {
+  // Declared before the runner, so it outlives the destructor the test is
+  // about: if the dtor failed to join, the zombie would write to `finished`
+  // after this frame died — which TSan/ASan would flag.
+  std::atomic<int> finished{0};
+  {
+    DeadlineRunner runner;
+    EvaluationRecord out;
+    const bool done = runner.run(
+        [&finished] { return sleep_then_mark(finished, 150); }, 0.01, &out);
+    EXPECT_FALSE(done);
+    EXPECT_EQ(runner.zombie_count(), 1u);
+  }
+  // The destructor has returned, so the zombie thread must have too.
+  EXPECT_EQ(finished.load(std::memory_order_acquire), 1);
+}
+
+TEST(DeadlineRunnerShutdown, DestructionJoinsEveryZombieNotJustTheLast) {
+  std::atomic<int> finished{0};
+  {
+    DeadlineRunner runner;
+    for (int i = 0; i < 3; ++i) {
+      EvaluationRecord out;
+      EXPECT_FALSE(runner.run(
+          [&finished] { return sleep_then_mark(finished, 100); }, 0.005,
+          &out));
+    }
+    EXPECT_EQ(runner.zombie_count(), 3u);
+  }
+  EXPECT_EQ(finished.load(std::memory_order_acquire), 3);
+}
+
+TEST(DeadlineRunnerShutdown, FinishedAttemptsAreReapedNotLeaked) {
+  DeadlineRunner runner;
+  std::atomic<int> finished{0};
+  EvaluationRecord out;
+  EXPECT_FALSE(runner.run(
+      [&finished] { return sleep_then_mark(finished, 50); }, 0.005, &out));
+  while (finished.load(std::memory_order_acquire) < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The attempt has returned; the bookkeeping pass reclaims its zombie
+  // (its done flag is published moments after `finished`, so poll).
+  EXPECT_TRUE(runner.run([] { return EvaluationRecord{}; }, 1.0, &out));
+  for (int i = 0; i < 200 && runner.zombie_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(runner.zombie_count(), 0u);
+}
+
+/// Objective whose detached evaluation hangs (finitely) past any test
+/// deadline, flipping a flag when the abandoned attempt finally returns.
+class HangingObjective final : public Objective {
+ public:
+  explicit HangingObjective(std::atomic<int>& finished)
+      : finished_(finished) {}
+
+  [[nodiscard]] EvaluationRecord evaluate(
+      const Configuration&, const EarlyTerminationRule*) override {
+    return EvaluationRecord{};
+  }
+  [[nodiscard]] bool supports_concurrent_evaluation()
+      const noexcept override {
+    return true;
+  }
+  [[nodiscard]] EvaluationRecord evaluate_detached(
+      const Configuration&, const EarlyTerminationRule*) override {
+    return sleep_then_mark(finished_, 120);
+  }
+  [[nodiscard]] Clock& clock() override { return clock_; }
+
+ private:
+  std::atomic<int>& finished_;
+  VirtualClock clock_;
+};
+
+TEST(DeadlineRunnerShutdown, EvaluatorTeardownAfterTimeoutIsSafe) {
+  std::atomic<int> finished{0};
+  {
+    HangingObjective objective(finished);
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    policy.eval_timeout_s = 0.01;
+    ResilientEvaluator evaluator(objective, policy, /*run_seed=*/1);
+    const ResilientOutcome outcome =
+        evaluator.evaluate(Configuration{0.5, 0.5}, nullptr,
+                           /*sample_index=*/0, /*detached=*/true);
+    EXPECT_TRUE(outcome.failed);
+    ASSERT_TRUE(outcome.record.failure_kind.has_value());
+    EXPECT_EQ(*outcome.record.failure_kind, FailureKind::Timeout);
+    // Evaluator (and the objective it references) are destroyed right here,
+    // while the abandoned attempt is still sleeping.
+  }
+  EXPECT_EQ(finished.load(std::memory_order_acquire), 1);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -207,6 +209,94 @@ TEST(EvalJournal, RewriteReproducesCreatePlusAppends) {
   EXPECT_EQ(text_a, text_b);
   std::remove(incremental_path.c_str());
   std::remove(rewritten_path.c_str());
+}
+
+TEST(EvalJournal, WritesV2HeaderAndChecksummedRecordLines) {
+  const std::string path = temp_path("journal_v2_format.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "hpjournal,v2,Rand,42,4");
+  ASSERT_TRUE(std::getline(in, line));
+  // Every v2 record line ends in ",#<8-hex crc32 of the body>".
+  ASSERT_GT(line.size(), 10u);
+  EXPECT_EQ(line.substr(line.size() - 10, 2), ",#");
+  for (std::size_t i = line.size() - 8; i < line.size(); ++i) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(line[i]))) << line;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, LoadsLegacyV1JournalsWithoutChecksums) {
+  const std::string path = temp_path("journal_v1_legacy.hpj");
+  const std::vector<EvaluationRecord> records = sample_records();
+  {
+    // A journal written by the pre-checksum format: plain record lines.
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "hpjournal,v1,Rand,42,4\n";
+    for (const auto& record : records) {
+      out << format_record_line(record) << "\n";
+    }
+  }
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_EQ(loaded.header.method, "Rand");
+  EXPECT_EQ(loaded.header.seed, 42u);
+  EXPECT_EQ(loaded.dropped_lines, 0u);
+  ASSERT_EQ(loaded.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_record_eq(loaded.records[i], records[i]);
+  }
+  std::remove(path.c_str());
+}
+
+// Reads the journal file, applies one text substitution, writes it back —
+// the "disk flipped a digit" / "merge tore a write" simulator.
+void tamper(const std::string& path, const std::string& from,
+            const std::string& to) {
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t pos = contents.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  contents.replace(pos, from.size(), to);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << contents;
+}
+
+TEST(EvalJournal, RejectsMidFileChecksumMismatchEvenWhenParseable) {
+  const std::string path = temp_path("journal_v2_midflip.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+    journal.append(sample_records()[1]);
+  }
+  // Flip one digit of the FIRST record's test error. The line still parses
+  // as a valid record — only the checksum knows it is not what was written.
+  tamper(path, "0.0625", "0.0635");
+  EXPECT_THROW((void)EvalJournal::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, DropsChecksumMismatchOnFinalLineAsTornTail) {
+  const std::string path = temp_path("journal_v2_tailflip.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+    journal.append(sample_records()[1]);
+  }
+  // Same flip on the LAST line: recoverable torn tail, prefix survives.
+  tamper(path, "0.125", "0.135");
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_EQ(loaded.dropped_lines, 1u);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  expect_record_eq(loaded.records[0], sample_records()[0]);
+  std::remove(path.c_str());
 }
 
 TEST(EvalJournal, RewriteJournalStaysAppendable) {

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dist/job_table.hpp"
+
+namespace hp::dist {
+namespace {
+
+JobTable table_with(std::size_t n) {
+  JobTable table;
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add(i + 1, i, core::Configuration{0.5, 0.5});
+  }
+  return table;
+}
+
+TEST(JobTable, HappyPathLifecycle) {
+  JobTable table = table_with(2);
+  EXPECT_FALSE(table.all_terminal());
+  ASSERT_TRUE(table.next_queued().has_value());
+  EXPECT_EQ(*table.next_queued(), 1u);
+
+  table.mark_dispatched(1, 0);
+  EXPECT_EQ(table.job(1).state, JobState::Dispatched);
+  EXPECT_EQ(table.job(1).dispatch_attempts, 1u);
+  EXPECT_EQ(table.job(1).worker_slot, 0);
+  EXPECT_EQ(*table.next_queued(), 2u);
+
+  table.mark_running(1);
+  table.mark_running(1);  // heartbeat repetition is idempotent
+  EXPECT_EQ(table.job(1).state, JobState::Running);
+
+  core::EvaluationRecord record;
+  record.test_error = 0.25;
+  table.mark_done(1, record);
+  EXPECT_EQ(table.job(1).state, JobState::Done);
+  EXPECT_EQ(table.job(1).record.test_error, 0.25);
+
+  table.mark_dispatched(2, 1);
+  table.mark_done(2, record);  // result can arrive before the first beat
+  EXPECT_TRUE(table.all_terminal());
+  EXPECT_FALSE(table.next_queued().has_value());
+}
+
+TEST(JobTable, LostRequeueIncrementsDispatchAttempts) {
+  JobTable table = table_with(1);
+  table.mark_dispatched(1, 0);
+  table.mark_lost(1);
+  EXPECT_EQ(table.job(1).state, JobState::Lost);
+  table.requeue(1);
+  EXPECT_EQ(table.job(1).state, JobState::Queued);
+  ASSERT_TRUE(table.next_queued().has_value());
+
+  table.mark_dispatched(1, 2);
+  EXPECT_EQ(table.job(1).dispatch_attempts, 2u);
+  table.mark_running(1);
+  table.mark_lost(1);  // Running -> Lost (missed beats, blown deadline)
+  core::EvaluationRecord failed;
+  failed.status = core::EvaluationStatus::Failed;
+  table.mark_failed(1, failed);  // Lost -> Failed when retries exhausted
+  EXPECT_EQ(table.job(1).state, JobState::Failed);
+  EXPECT_TRUE(table.all_terminal());
+}
+
+TEST(JobTable, IllegalTransitionsThrow) {
+  JobTable table = table_with(1);
+  core::EvaluationRecord record;
+  // Queued jobs are not in flight: nothing to run, finish, or lose.
+  EXPECT_THROW(table.mark_running(1), std::logic_error);
+  EXPECT_THROW(table.mark_done(1, record), std::logic_error);
+  EXPECT_THROW(table.mark_lost(1), std::logic_error);
+  EXPECT_THROW(table.requeue(1), std::logic_error);
+
+  table.mark_dispatched(1, 0);
+  EXPECT_THROW(table.mark_dispatched(1, 1), std::logic_error);
+  EXPECT_THROW(table.requeue(1), std::logic_error);  // only Lost requeues
+
+  table.mark_done(1, record);
+  // Terminal states are final.
+  EXPECT_THROW(table.mark_running(1), std::logic_error);
+  EXPECT_THROW(table.mark_lost(1), std::logic_error);
+  EXPECT_THROW(table.mark_done(1, record), std::logic_error);
+  EXPECT_THROW(table.mark_failed(1, record), std::logic_error);
+}
+
+TEST(JobTable, UnknownAndDuplicateIdsThrow) {
+  JobTable table = table_with(1);
+  EXPECT_THROW(table.mark_dispatched(99, 0), std::logic_error);
+  EXPECT_THROW((void)table.job(99), std::logic_error);
+  EXPECT_THROW(table.add(1, 5, core::Configuration{}), std::logic_error);
+}
+
+TEST(JobTable, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(JobState::Queued), "queued");
+  EXPECT_STREQ(to_string(JobState::Dispatched), "dispatched");
+  EXPECT_STREQ(to_string(JobState::Running), "running");
+  EXPECT_STREQ(to_string(JobState::Done), "done");
+  EXPECT_STREQ(to_string(JobState::Failed), "failed");
+  EXPECT_STREQ(to_string(JobState::Lost), "lost");
+}
+
+}  // namespace
+}  // namespace hp::dist

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "core/trace_io.hpp"
+#include "dist/wire.hpp"
+
+namespace hp::dist {
+namespace {
+
+core::EvaluationRecord sample_record() {
+  core::EvaluationRecord record;
+  record.config = {1.0 / 3.0, 0.1234567890123456, 2.0 / 7.0};
+  record.status = core::EvaluationStatus::Completed;
+  record.test_error = 0.0625;
+  record.measured_power_w = 87.5;
+  record.measured_memory_mb = 512.25;
+  record.cost_s = 123.5;
+  record.timestamp_s = 123.5;
+  record.index = 11;
+  record.attempts = 2;
+  return record;
+}
+
+TEST(WireFrame, RoundTripsPayload) {
+  const std::string payload = "job,7,3,1,2,0.5,0.25";
+  const std::string line = encode_frame(payload);
+  EXPECT_EQ(line.back(), '\n');
+  const auto decoded = decode_frame(
+      std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(WireFrame, RejectsTamperedLengthChecksumAndPayload) {
+  const std::string line = encode_frame("result,1,r,ok");
+  std::string body(line.substr(0, line.size() - 1));
+
+  EXPECT_FALSE(decode_frame("").has_value());
+  EXPECT_FALSE(decode_frame("x," + body.substr(2)).has_value());
+  EXPECT_FALSE(decode_frame(body + "x").has_value());  // length mismatch
+  EXPECT_FALSE(decode_frame(body.substr(0, 5)).has_value());
+
+  // Flip one payload byte: the length still matches, the checksum must not.
+  std::string corrupt = body;
+  corrupt[corrupt.size() - 1] ^= 0x1;
+  EXPECT_FALSE(decode_frame(corrupt).has_value());
+
+  // Flip one checksum digit.
+  std::string bad_crc = body;
+  const auto crc_pos = bad_crc.find(',', 2) + 1;
+  bad_crc[crc_pos] = bad_crc[crc_pos] == '0' ? '1' : '0';
+  EXPECT_FALSE(decode_frame(bad_crc).has_value());
+}
+
+TEST(WireJob, RoundTripsConfigBitExactly) {
+  JobRequest job;
+  job.job_id = 42;
+  job.sample_index = 17;
+  job.dispatch_attempt = 3;
+  job.config = {1.0 / 3.0, 0.1234567890123456, 1e-17};
+  const auto parsed = parse_job(encode_job(job));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->job_id, 42u);
+  EXPECT_EQ(parsed->sample_index, 17u);
+  EXPECT_EQ(parsed->dispatch_attempt, 3u);
+  EXPECT_EQ(parsed->config, job.config);  // bit-exact doubles
+}
+
+TEST(WireJob, RejectsMalformedPayloads) {
+  EXPECT_FALSE(parse_job("").has_value());
+  EXPECT_FALSE(parse_job("job").has_value());
+  EXPECT_FALSE(parse_job("job,1,2").has_value());
+  EXPECT_FALSE(parse_job("job,1,2,1,3,0.5").has_value());  // dim mismatch
+  EXPECT_FALSE(parse_job("job,x,2,1,1,0.5").has_value());
+  EXPECT_FALSE(parse_job("result,1,whatever").has_value());
+}
+
+TEST(WireWorkerMessage, HelloAndBeatsRoundTrip) {
+  const auto hello = parse_worker_message(encode_hello(1234));
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->kind, WorkerMessage::Kind::Hello);
+  EXPECT_EQ(hello->pid, 1234);
+
+  const auto idle = parse_worker_message(encode_beat(std::nullopt));
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_EQ(idle->kind, WorkerMessage::Kind::Beat);
+  EXPECT_FALSE(idle->job_id.has_value());
+
+  const auto busy = parse_worker_message(encode_beat(9));
+  ASSERT_TRUE(busy.has_value());
+  EXPECT_EQ(busy->kind, WorkerMessage::Kind::Beat);
+  ASSERT_TRUE(busy->job_id.has_value());
+  EXPECT_EQ(*busy->job_id, 9u);
+}
+
+TEST(WireWorkerMessage, ResultCarriesRecordBitExactly) {
+  const core::EvaluationRecord record = sample_record();
+  const auto parsed = parse_worker_message(encode_result(5, record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, WorkerMessage::Kind::Result);
+  ASSERT_TRUE(parsed->job_id.has_value());
+  EXPECT_EQ(*parsed->job_id, 5u);
+  // The record must survive the wire byte-for-byte: re-serializing it
+  // reproduces the exact line the worker sent.
+  EXPECT_EQ(core::format_record_line(parsed->record),
+            core::format_record_line(record));
+  EXPECT_EQ(parsed->record.test_error, record.test_error);
+  EXPECT_EQ(parsed->record.measured_power_w, record.measured_power_w);
+  EXPECT_EQ(parsed->record.cost_s, record.cost_s);
+}
+
+TEST(WireWorkerMessage, JobErrorRoundTrips) {
+  const auto parsed =
+      parse_worker_message(encode_job_error(3, "allocation failed"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, WorkerMessage::Kind::JobError);
+  ASSERT_TRUE(parsed->job_id.has_value());
+  EXPECT_EQ(*parsed->job_id, 3u);
+  EXPECT_EQ(parsed->error, "allocation failed");
+}
+
+TEST(WireWorkerMessage, RejectsGarbage) {
+  EXPECT_FALSE(parse_worker_message("").has_value());
+  EXPECT_FALSE(parse_worker_message("nonsense").has_value());
+  EXPECT_FALSE(parse_worker_message("hello").has_value());
+  EXPECT_FALSE(parse_worker_message("hello,notapid").has_value());
+  EXPECT_FALSE(parse_worker_message("beat,").has_value());
+  EXPECT_FALSE(parse_worker_message("result,1").has_value());
+  EXPECT_FALSE(parse_worker_message("result,1,r,not-a-record").has_value());
+  EXPECT_FALSE(parse_worker_message("jerr").has_value());
+}
+
+}  // namespace
+}  // namespace hp::dist

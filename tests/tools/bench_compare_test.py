@@ -180,6 +180,71 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 2)
         self.assertIn("BM_Inc/200", err)
 
+    def _write_max_invariant(self, max_ratio):
+        # An overhead ceiling: the fleet round may cost at most max_ratio x
+        # the in-process round.
+        (self.baseline / "tracked.json").write_text(json.dumps({
+            "invariants": [{
+                "file": "BENCH_a.json",
+                "numerator": "BM_Fleet/1",
+                "denominator": "BM_InProc",
+                "max_ratio": max_ratio,
+            }]}))
+
+    def test_max_ratio_invariant_satisfied(self):
+        write_bench(self.baseline, "BENCH_a.json",
+                    {"BM_Fleet/1": 150.0, "BM_InProc": 100.0})
+        write_bench(self.current, "BENCH_a.json",
+                    {"BM_Fleet/1": 150.0, "BM_InProc": 100.0})
+        self._write_max_invariant(3.0)
+        code, out, _ = run_compare(self.args())
+        self.assertEqual(code, 0)
+        self.assertIn("<= 3.0x", out)
+
+    def test_max_ratio_invariant_violation_fails(self):
+        write_bench(self.baseline, "BENCH_a.json",
+                    {"BM_Fleet/1": 120.0, "BM_InProc": 100.0})
+        # Dispatch path regressed: fleet rounds now cost 5x in-process.
+        write_bench(self.current, "BENCH_a.json",
+                    {"BM_Fleet/1": 500.0, "BM_InProc": 100.0})
+        self._write_max_invariant(3.0)
+        code, out, err = run_compare(self.args())
+        self.assertEqual(code, 1)
+        self.assertIn("VIOLATION", out)
+        self.assertIn("BM_Fleet/1", err)
+
+    def test_invariant_with_both_bounds_enforces_a_band(self):
+        write_bench(self.baseline, "BENCH_a.json",
+                    {"BM_Fleet/1": 120.0, "BM_InProc": 100.0})
+        write_bench(self.current, "BENCH_a.json",
+                    {"BM_Fleet/1": 50.0, "BM_InProc": 100.0})
+        (self.baseline / "tracked.json").write_text(json.dumps({
+            "invariants": [{
+                "file": "BENCH_a.json",
+                "numerator": "BM_Fleet/1",
+                "denominator": "BM_InProc",
+                "min_ratio": 0.9,
+                "max_ratio": 3.0,
+            }]}))
+        code, out, _ = run_compare(self.args())
+        self.assertEqual(code, 1)
+        self.assertIn("VIOLATION", out)
+
+    def test_invariant_without_any_bound_is_error(self):
+        write_bench(self.baseline, "BENCH_a.json",
+                    {"BM_Fleet/1": 120.0, "BM_InProc": 100.0})
+        write_bench(self.current, "BENCH_a.json",
+                    {"BM_Fleet/1": 120.0, "BM_InProc": 100.0})
+        (self.baseline / "tracked.json").write_text(json.dumps({
+            "invariants": [{
+                "file": "BENCH_a.json",
+                "numerator": "BM_Fleet/1",
+                "denominator": "BM_InProc",
+            }]}))
+        code, _, err = run_compare(self.args())
+        self.assertEqual(code, 2)
+        self.assertIn("min_ratio and/or max_ratio", err)
+
 
 if __name__ == "__main__":
     unittest.main()

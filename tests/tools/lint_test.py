@@ -163,6 +163,49 @@ class TraceNameLiteralTest(unittest.TestCase):
         self.assertEqual(rules(findings), set())
 
 
+class RawProcessControlTest(unittest.TestCase):
+    def test_fires_on_fork_pipe_waitpid_outside_dist(self):
+        findings = run_checks({
+            "src/core/a.cpp":
+                "void f() {\n"
+                "  int fds[2];\n"
+                "  ::pipe(fds);\n"
+                "  const pid_t pid = fork();\n"
+                "  waitpid(pid, nullptr, 0);\n"
+                "}\n",
+        })
+        self.assertEqual(rules(findings), {"raw-process-control"})
+        self.assertEqual(len(findings), 3)
+
+    def test_fires_on_exec_and_spawn_variants(self):
+        findings = run_checks({
+            "src/hw/a.cpp":
+                "void f(char** argv) {\n"
+                "  ::execv(argv[0], argv);\n"
+                "  posix_spawn(nullptr, argv[0], nullptr, nullptr,\n"
+                "              argv, nullptr);\n"
+                "}\n",
+        })
+        self.assertEqual(rules(findings), {"raw-process-control"})
+        self.assertEqual(len(findings), 2)
+
+    def test_dist_tests_members_and_comments_are_exempt(self):
+        findings = run_checks({
+            # The sanctioned owner of process lifecycle.
+            "src/dist/supervisor.cpp":
+                "void f() { int fds[2]; ::pipe(fds);\n"
+                "  const pid_t pid = ::fork();\n"
+                "  ::waitpid(pid, nullptr, 0); }\n",
+            # Tests may reap directly to assert no zombies remain.
+            "tests/dist/a_test.cpp": "waitpid(-1, nullptr, WNOHANG);\n",
+            # Member calls and identifiers containing the names don't match.
+            "src/core/b.cpp":
+                "void g() { table.fork(); pipeline(x); my_waitpid_count++; }\n"
+                "// fork() belongs in src/dist\n",
+        })
+        self.assertEqual(rules(findings), set())
+
+
 class RawMutexTest(unittest.TestCase):
     def test_fires_on_each_raw_primitive_and_header(self):
         findings = run_checks({

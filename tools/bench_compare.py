@@ -14,8 +14,10 @@ Checks, in order:
    time *within the same file* before comparing, turning the check into a
    relative-shape comparison that transfers across machines.
 2. Tracked invariants: <baseline-dir>/tracked.json pins machine-independent
-   ratios (e.g. full GP refit over incremental refit >= 5x at n=200),
-   evaluated on the *current* files only.
+   ratios, evaluated on the *current* files only. Each invariant carries
+   min_ratio and/or max_ratio bounds — a floor pins a speedup that must
+   persist (e.g. full GP refit over incremental refit >= 5x at n=200), a
+   ceiling caps an overhead (e.g. fleet round over in-process round).
 
 Exit codes:
   0  no regression (missing baseline files only produce warnings)
@@ -115,9 +117,14 @@ def check_invariants(tracked_path: Path, current_dir: Path) -> list[str]:
             file_name = inv["file"]
             numerator = inv["numerator"]
             denominator = inv["denominator"]
-            min_ratio = float(inv["min_ratio"])
         except (TypeError, KeyError) as exc:
             raise CompareError(f"{tracked_path}: invariant missing key: {exc}")
+        min_ratio = inv.get("min_ratio")
+        max_ratio = inv.get("max_ratio")
+        if min_ratio is None and max_ratio is None:
+            raise CompareError(
+                f"{tracked_path}: invariant {numerator}/{denominator} needs "
+                "min_ratio and/or max_ratio")
         current_file = current_dir / file_name
         if not current_file.exists():
             print(f"WARNING    invariant {numerator}/{denominator}: "
@@ -129,13 +136,21 @@ def check_invariants(tracked_path: Path, current_dir: Path) -> list[str]:
                 raise CompareError(
                     f"{current_file}: invariant run '{required}' not present")
         ratio = runs[numerator] / runs[denominator]
-        status = "OK        " if ratio >= min_ratio else "VIOLATION "
+        bounds = []
+        violated = False
+        if min_ratio is not None:
+            bounds.append(f">= {float(min_ratio):.1f}x")
+            violated = violated or ratio < float(min_ratio)
+        if max_ratio is not None:
+            bounds.append(f"<= {float(max_ratio):.1f}x")
+            violated = violated or ratio > float(max_ratio)
+        status = "VIOLATION " if violated else "OK        "
         print(f"{status} invariant {numerator} / {denominator} = "
-              f"{ratio:.1f}x (required >= {min_ratio:.1f}x)")
-        if ratio < min_ratio:
+              f"{ratio:.1f}x (required {' and '.join(bounds)})")
+        if violated:
             violations.append(
                 f"{file_name}: {numerator}/{denominator} = {ratio:.1f}x "
-                f"< {min_ratio:.1f}x")
+                f"outside [{' , '.join(bounds)}]")
     return violations
 
 

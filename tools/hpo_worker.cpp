@@ -1,0 +1,8 @@
+// hpo-worker — fleet evaluation process exec'd by `hyperpower optimize
+// --workers N` (never run by hand). Speaks the line-framed job protocol of
+// src/dist/wire.hpp on stdin/stdout; see src/cli/worker_main.hpp for the
+// protocol loop and exit codes.
+
+#include "cli/worker_main.hpp"
+
+int main(int argc, char** argv) { return hp::cli::worker_main(argc, argv); }

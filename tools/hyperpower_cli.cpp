@@ -25,18 +25,19 @@
 #include <memory>
 #include <mutex>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include "cli/args.hpp"
+#include "cli/objective_setup.hpp"
 #include "core/contracts.hpp"
-#include "core/fault_injection.hpp"
 #include "core/framework.hpp"
 #include "core/model_io.hpp"
 #include "core/pareto.hpp"
 #include "core/trace_io.hpp"
+#include "dist/job_scheduler.hpp"
 #include "hw/profiler.hpp"
 #include "obs/obs.hpp"
-#include "testbed/testbed_objective.hpp"
 
 namespace {
 
@@ -57,6 +58,11 @@ commands:
             [--retries N] [--eval-timeout S]   (fault tolerance)
             [--journal PATH] [--resume]        (crash-safe checkpointing)
             [--fault-rate R] [--fault-seed S] [--sensor-fault-rate R]
+            [--workers N] [--worker-bin PATH]  (multi-process fleet;
+            requires --batch > 1; traces stay bit-identical to in-process)
+            [--job-deadline S] [--heartbeat-interval S] [--dispatch-retries N]
+            [--worker-kill-rate R] [--worker-hang-rate R]
+            [--reply-corrupt-rate R]           (fleet chaos injection)
   pareto    --problem P --device NAME [--power-budget W] [--hours H] [--seed S]
   devices
 
@@ -265,28 +271,25 @@ class ProgressSink final : public obs::LogSink {
   std::chrono::steady_clock::time_point start_;
 };
 
-core::BenchmarkProblem problem_by_name(const std::string& name) {
-  if (name == "mnist") return core::mnist_problem();
-  if (name == "cifar10") return core::cifar10_problem();
-  if (name == "tiny_mnist") return core::tiny_mnist_problem();
-  if (name == "tiny_cifar") return core::tiny_cifar_problem();
-  throw std::invalid_argument("unknown problem '" + name +
-                              "' (mnist|cifar10|tiny_mnist|tiny_cifar)");
+/// Adds the evaluation-stack flags (problem/device/budgets/faults/models)
+/// shared with the hpo-worker to a command's known-flag list.
+std::vector<std::string> with_stack_flags(std::vector<std::string> known) {
+  const std::vector<std::string> stack = cli::evaluation_stack_flags();
+  known.insert(known.end(), stack.begin(), stack.end());
+  return known;
 }
 
-testbed::LandscapeParams landscape_by_name(const std::string& name) {
-  return name == "cifar10" || name == "tiny_cifar"
-             ? testbed::cifar10_landscape()
-             : testbed::mnist_landscape();
-}
-
-hw::DeviceSpec device_by_name(const std::string& name) {
-  const auto device = hw::find_device(name);
-  if (!device) {
-    throw std::invalid_argument("unknown device '" + name +
-                                "' (see `hyperpower devices`)");
-  }
-  return *device;
+/// Default --worker-bin: the hpo-worker binary installed next to this
+/// executable (both are built into the same directory).
+std::string sibling_worker_binary() {
+  char path[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", path, sizeof path - 1);
+  if (n <= 0) return "hpo-worker";
+  path[n] = '\0';
+  const std::string self(path);
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return "hpo-worker";
+  return self.substr(0, slash + 1) + "hpo-worker";
 }
 
 core::Method method_by_name(const std::string& name) {
@@ -331,8 +334,8 @@ int cmd_profile(const cli::Args& args) {
   args.require_known(
       with_obs_flags({"problem", "device", "samples", "seed", "csv"}));
   ObsScope obs_scope(args);
-  const auto problem = problem_by_name(args.get_or("problem", "mnist"));
-  const auto device = device_by_name(args.get_or("device", "GTX 1070"));
+  const auto problem = cli::problem_by_name(args.get_or("problem", "mnist"));
+  const auto device = cli::device_by_name(args.get_or("device", "GTX 1070"));
   const auto samples = run_profiling(
       problem, device, static_cast<std::size_t>(args.get_int_or("samples", 50)),
       static_cast<std::uint64_t>(args.get_int_or("seed", 2018)));
@@ -367,8 +370,8 @@ int cmd_train(const cli::Args& args) {
   args.require_known(with_obs_flags(
       {"problem", "device", "samples", "seed", "power-model", "memory-model"}));
   ObsScope obs_scope(args);
-  const auto problem = problem_by_name(args.get_or("problem", "mnist"));
-  const auto device = device_by_name(args.get_or("device", "GTX 1070"));
+  const auto problem = cli::problem_by_name(args.get_or("problem", "mnist"));
+  const auto device = cli::device_by_name(args.get_or("device", "GTX 1070"));
   const auto samples = run_profiling(
       problem, device,
       static_cast<std::size_t>(args.get_int_or("samples", 100)),
@@ -392,61 +395,25 @@ int cmd_train(const cli::Args& args) {
   return 0;
 }
 
-struct SearchSetup {
-  core::BenchmarkProblem problem;
-  hw::DeviceSpec device;
-  core::ConstraintBudgets budgets;
-};
-
-SearchSetup search_setup(const cli::Args& args) {
-  SearchSetup s{problem_by_name(args.get_or("problem", "mnist")),
-                device_by_name(args.get_or("device", "GTX 1070")),
-                {}};
-  s.budgets.power_w = args.get_double("power-budget");
-  s.budgets.memory_mb = args.get_double("memory-budget");
-  return s;
-}
-
 int cmd_optimize(const cli::Args& args) {
-  args.require_known(with_obs_flags(
-      {"problem", "device", "method", "power-budget", "memory-budget", "hours",
-       "evals", "default-mode", "seed", "trace", "profile-samples",
-       "power-model", "memory-model", "batch", "threads", "retries",
-       "eval-timeout", "journal", "resume", "fault-rate", "fault-seed",
-       "sensor-fault-rate"}));
+  args.require_known(with_obs_flags(with_stack_flags(
+      {"method", "hours", "evals", "trace", "batch", "threads", "journal",
+       "resume", "workers", "worker-bin", "heartbeat-interval", "job-deadline",
+       "dispatch-retries"})));
   ObsScope obs_scope(args);
-  SearchSetup s = search_setup(args);
-  testbed::TestbedOptions testbed_options =
-      testbed::calibrated_options(s.problem.name(), s.device);
-  testbed_options.sensor_faults.failure_rate =
-      args.get_double_or("sensor-fault-rate", 0.0);
-  testbed_options.sensor_faults.seed = static_cast<std::uint64_t>(
-      args.get_int_or("fault-seed", 1234));
-  testbed::TestbedObjective objective(
-      s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
-      testbed_options);
-
-  // Optional deterministic fault injection around the objective; the
-  // framework and evaluation engine only ever see the wrapper.
-  std::unique_ptr<core::FaultInjectingObjective> faulty;
-  core::Objective* search_objective = &objective;
-  if (const double fault_rate = args.get_double_or("fault-rate", 0.0);
-      fault_rate > 0.0) {
-    core::FaultSpec fault_spec;
-    fault_spec.failure_rate = fault_rate;
-    fault_spec.seed =
-        static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1234));
-    faulty = std::make_unique<core::FaultInjectingObjective>(objective,
-                                                             fault_spec);
-    search_objective = faulty.get();
-  }
-  core::HyperPowerFramework framework(s.problem, *search_objective, s.budgets);
+  // The evaluation stack (problem, device, testbed objective, fault
+  // decorator, hardware models) is built by the same code path the
+  // hpo-worker runs, so fleet workers evaluate bit-identically.
+  const std::unique_ptr<cli::EvaluationStack> stack =
+      cli::build_evaluation_stack(args);
+  core::HyperPowerFramework& framework = *stack->framework;
+  const cli::EvaluationPolicy policy = cli::evaluation_policy(args);
 
   core::FrameworkOptions options;
   options.method = method_by_name(args.get_or("method", "hw-ieci"));
-  options.hyperpower_mode = !args.has("default-mode");
-  options.optimizer.seed =
-      static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  options.hyperpower_mode = stack->hyperpower_mode;
+  options.optimizer.seed = policy.seed;
+  options.optimizer.retry = policy.retry;
   if (const auto hours = args.get_double("hours")) {
     options.optimizer.max_runtime_s = *hours * 3600.0;
   }
@@ -460,12 +427,6 @@ int cmd_optimize(const cli::Args& args) {
   options.optimizer.batch_size = args.get_uint_or("batch", 1);
   options.optimizer.num_threads =
       args.get_uint_or("threads", options.optimizer.batch_size);
-  if (const auto retries = args.get_uint("retries")) {
-    options.optimizer.retry.max_attempts = *retries + 1;
-  }
-  if (const auto timeout = args.get_double("eval-timeout")) {
-    options.optimizer.retry.eval_timeout_s = *timeout;
-  }
   if (const auto journal = args.get("journal")) {
     options.optimizer.journal_path = *journal;
   }
@@ -473,39 +434,54 @@ int cmd_optimize(const cli::Args& args) {
     throw std::invalid_argument("--resume requires --journal PATH");
   }
 
-  if (options.hyperpower_mode && s.budgets.any()) {
-    if (args.has("power-model") || args.has("memory-model")) {
-      // Reuse models saved by `hyperpower train` — the paper's offline
-      // phase run once, amortized over many searches.
-      std::optional<core::HardwareModel> power, memory;
-      if (const auto path = args.get("power-model")) {
-        power = core::load_hardware_model_file(*path);
-      }
-      if (const auto path = args.get("memory-model")) {
-        memory = core::load_hardware_model_file(*path);
-      }
-      framework.set_hardware_models(std::move(power), std::move(memory));
-      std::printf("loaded hardware models from disk\n");
-    } else {
-      hw::GpuSimulator simulator(s.device, 7);
-      hw::InferenceProfiler profiler(simulator);
-      const auto n = framework.train_hardware_models(
-          profiler,
-          static_cast<std::size_t>(args.get_int_or("profile-samples", 80)),
-          2018);
-      std::printf("trained hardware models from %zu profiled configs "
-                  "(power RMSPE %.2f%%)\n",
-                  n, framework.power_model()->cv.rmspe);
-    }
+  if (stack->trained_models) {
+    std::printf("trained hardware models from %zu profiled configs "
+                "(power RMSPE %.2f%%)\n",
+                stack->profiled_configs, framework.power_model()->cv.rmspe);
+  } else if (framework.power_model() || framework.memory_model()) {
+    std::printf("loaded hardware models from disk\n");
   }
 
-  // Whatever predictive models exist double as sensor fallbacks: when the
-  // live power/memory counters stay dark, measurements degrade to model
-  // predictions (measured=false) instead of failing the candidate.
-  if (framework.power_model()) {
-    objective.set_fallback_models(
-        &framework.power_model()->model,
-        framework.memory_model() ? &framework.memory_model()->model : nullptr);
+  // --workers: evaluate rounds in a supervised fleet of hpo-worker
+  // processes (DESIGN.md §15). Fleet mode reuses the batched per-sample
+  // RNG streams, so the trace stays a pure function of (seed, batch) —
+  // never of worker count, scheduling, or injected worker faults.
+  std::unique_ptr<dist::FleetScheduler> fleet;
+  const std::size_t workers = args.get_uint_or("workers", 0);
+  if (workers > 0) {
+    if (options.optimizer.batch_size <= 1) {
+      throw std::invalid_argument(
+          "--workers requires --batch > 1 (fleet mode dispatches whole "
+          "rounds)");
+    }
+    dist::FleetOptions fleet_options;
+    fleet_options.supervisor.workers = workers;
+    fleet_options.supervisor.worker_binary =
+        args.get_or("worker-bin", sibling_worker_binary());
+    const double heartbeat_s = args.get_double_or("heartbeat-interval", 0.5);
+    fleet_options.heartbeat_interval_s = heartbeat_s;
+    fleet_options.job_deadline_s = args.get_double_or("job-deadline", 120.0);
+    fleet_options.dispatch_retry.max_attempts =
+        args.get_uint_or("dispatch-retries", 2) + 1;
+    // Requeue backoff burns real seconds (never the simulated clock), so
+    // keep it short: lost jobs should retry promptly.
+    fleet_options.dispatch_retry.backoff_initial_s = 0.05;
+    fleet_options.run_seed = options.optimizer.seed;
+    // Workers rebuild the evaluation stack from the exact flag values this
+    // process parsed — forward them verbatim.
+    for (const std::string& flag : cli::evaluation_stack_flags()) {
+      if (!args.has(flag)) continue;
+      fleet_options.supervisor.worker_args.push_back("--" + flag);
+      if (const auto value = args.get(flag)) {
+        fleet_options.supervisor.worker_args.push_back(*value);
+      }
+    }
+    char heartbeat_text[32];
+    std::snprintf(heartbeat_text, sizeof heartbeat_text, "%.17g", heartbeat_s);
+    fleet_options.supervisor.worker_args.push_back("--heartbeat-interval");
+    fleet_options.supervisor.worker_args.push_back(heartbeat_text);
+    fleet = std::make_unique<dist::FleetScheduler>(std::move(fleet_options));
+    options.optimizer.dispatcher = fleet.get();
   }
 
   // Live progress line: on by default when stderr is a terminal, forced by
@@ -581,8 +557,22 @@ int cmd_optimize(const cli::Args& args) {
     std::printf("  %-24s %zu\n", "evaluation retries", trace.total_retries());
     std::printf("  %-24s %zu\n", "sensor fallbacks", trace.fallback_count());
   }
-  if (faulty != nullptr) {
-    std::printf("  %-24s %zu\n", "injected faults", faulty->injected_failures());
+  if (stack->faulty != nullptr && !fleet) {
+    // Fleet runs inject faults inside the workers; this process's counter
+    // would read zero, so only report it for in-process evaluation.
+    std::printf("  %-24s %zu\n", "injected faults",
+                stack->faulty->injected_failures());
+  }
+  if (fleet) {
+    fleet->shutdown();  // reap every worker before reporting
+    const dist::FleetScheduler::Stats fs = fleet->stats();
+    std::printf("  %-24s %zu\n", "fleet jobs dispatched", fs.dispatched);
+    std::printf("  %-24s %zu\n", "fleet jobs lost", fs.lost);
+    std::printf("  %-24s %zu\n", "fleet jobs requeued", fs.requeued);
+    std::printf("  %-24s %zu\n", "fleet jobs failed", fs.failed_jobs);
+    std::printf("  %-24s %zu\n", "fleet worker deaths", fs.worker_deaths);
+    std::printf("  %-24s %zu\n", "fleet worker respawns", fs.respawns);
+    std::printf("  %-24s %zu\n", "fleet garbage frames", fs.garbage_frames);
   }
   if (result.run.aborted) {
     std::printf("run aborted: %s\n", result.run.abort_reason.c_str());
@@ -599,7 +589,7 @@ int cmd_optimize(const cli::Args& args) {
                   *best.measured_memory_mb);
     }
     std::printf("architecture: %s\n",
-                s.problem.to_cnn_spec(best.config).to_string().c_str());
+                stack->problem.to_cnn_spec(best.config).to_string().c_str());
   } else {
     std::printf("no feasible configuration found\n");
   }
@@ -642,31 +632,22 @@ int cmd_optimize(const cli::Args& args) {
 }
 
 int cmd_pareto(const cli::Args& args) {
-  args.require_known(with_obs_flags(
-      {"problem", "device", "power-budget", "memory-budget", "hours", "seed"}));
+  args.require_known(with_obs_flags(with_stack_flags({"hours"})));
   ObsScope obs_scope(args);
-  SearchSetup s = search_setup(args);
-  testbed::TestbedObjective objective(
-      s.problem, landscape_by_name(args.get_or("problem", "mnist")), s.device,
-      testbed::calibrated_options(s.problem.name(), s.device));
-  core::HyperPowerFramework framework(s.problem, objective, s.budgets);
-  if (s.budgets.any()) {
-    hw::GpuSimulator simulator(s.device, 7);
-    hw::InferenceProfiler profiler(simulator);
-    (void)framework.train_hardware_models(profiler, 80, 2018);
-  }
+  const std::unique_ptr<cli::EvaluationStack> stack =
+      cli::build_evaluation_stack(args);
   core::FrameworkOptions options;
   options.method = core::Method::HwIeci;
-  options.hyperpower_mode = s.budgets.any();
+  options.hyperpower_mode = stack->budgets.any();
   options.optimizer.max_runtime_s = args.get_double_or("hours", 2.0) * 3600.0;
-  options.optimizer.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
-  const auto result = framework.optimize(options);
+  options.optimizer.seed = cli::evaluation_policy(args).seed;
+  const auto result = stack->framework->optimize(options);
   const auto front = core::pareto_front(result.run.trace);
   std::printf("error/power Pareto front (%zu points):\n", front.size());
   std::printf("%10s %10s  architecture\n", "power [W]", "error");
   for (const auto& p : front) {
     std::printf("%10.1f %9.2f%%  %s\n", p.power_w, p.test_error * 100.0,
-                s.problem.to_cnn_spec(p.config).to_string().c_str());
+                stack->problem.to_cnn_spec(p.config).to_string().c_str());
   }
   return 0;
 }
@@ -674,6 +655,9 @@ int cmd_pareto(const cli::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A fleet worker dying mid-write must surface as EPIPE on the scheduler's
+  // pipe (classified as a transient EvalFailure), never as SIGPIPE death.
+  ::signal(SIGPIPE, SIG_IGN);
   try {
     if (argc < 2) return usage();
     const std::string command = argv[1];

@@ -37,6 +37,12 @@ Rules (see DESIGN.md §10 for rationale and how to add one):
                         pointer, span IDs hash the name, and the summary
                         tooling groups by it, so a dynamic name is both a
                         lifetime bug and a cardinality explosion.
+  raw-process-control   fork/exec/pipe/waitpid and friends may appear in
+                        library code (src/) only inside src/dist — process
+                        lifecycle belongs to the WorkerSupervisor, which
+                        guarantees every child is reaped (no zombies) and
+                        every pipe fd is closed. Anything else that needs a
+                        process goes through the fleet (DESIGN.md §15).
   raw-mutex             Library code (src/) must synchronize through the
                         annotated wrappers in core/thread_annotations.hpp
                         (hp::Mutex / hp::MutexLock / hp::CondVar) — never
@@ -208,13 +214,15 @@ def check_failure_recording(path, root, lines, findings):
 # points. Declarations/overrides don't match (no receiver).
 OBJECTIVE_EVALUATE_RE = re.compile(r"(?:\.|->)\s*evaluate(?:_detached)?\s*\(")
 # The sanctioned callers: the engine (through ResilientEvaluator), the
-# retry wrapper itself, the fault-injection decorator, and Objective's own
-# default-method implementations.
+# retry wrapper itself, the fault-injection decorator, Objective's own
+# default-method implementations, and the fleet worker loop (which runs
+# the same ResilientEvaluator path on behalf of a remote engine).
 OBJECTIVE_EVALUATE_ALLOWLIST = (
     ("src", "core", "evaluation_engine.cpp"),
     ("src", "core", "resilience.cpp"),
     ("src", "core", "fault_injection.cpp"),
     ("src", "core", "objective.cpp"),
+    ("src", "cli", "worker_main.cpp"),
 )
 
 
@@ -293,6 +301,29 @@ def check_trace_name_literal(path, root, lines, findings):
                 '("optimizer.round.propose"); the tracer stores the pointer '
                 "and groups by name, so runtime-formatted strings are "
                 "forbidden"))
+
+
+# Process-control primitives: creation, replacement, and reaping. A match
+# requires the call position (optionally ::-qualified); member calls like
+# table.fork() and identifiers merely containing the names don't match.
+RAW_PROCESS_RE = re.compile(
+    r"(?<![\w.])(?:::\s*)?(?:fork|vfork|pipe2?|waitpid|wait4|"
+    r"execv[pe]?|execl[pe]?|posix_spawn)\s*\(")
+RAW_PROCESS_ALLOWED = ("src", "dist")
+
+
+def check_raw_process_control(path, root, lines, findings):
+    if not in_dir(path, root, "src") or in_dir(path, root,
+                                               *RAW_PROCESS_ALLOWED):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        if RAW_PROCESS_RE.search(strip_noise(raw)):
+            findings.append(Finding(
+                path, lineno, "raw-process-control",
+                "fork/exec/pipe/waitpid in library code is reserved for "
+                "src/dist — the WorkerSupervisor owns process lifecycle so "
+                "children are always reaped and pipe fds always closed "
+                "(DESIGN.md §15)"))
 
 
 # Raw std synchronization primitives and the headers that provide them.
@@ -397,6 +428,7 @@ CHECKS = (
     check_failure_recording,
     check_raw_objective_evaluate,
     check_trace_name_literal,
+    check_raw_process_control,
     check_raw_mutex,
     check_pragma_once,
     check_includes,
