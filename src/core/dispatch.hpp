@@ -1,11 +1,13 @@
 #pragma once
 // Round-dispatch seam between the evaluation engine and the process fleet
-// (DESIGN.md §15). The engine's batched loop normally evaluates a round on
-// its thread pool; when OptimizerOptions.dispatcher is set, the prepared
-// (proposed + filtered) candidates are handed to a RoundDispatcher instead
-// and the engine blocks until the round's records come back. core cannot
-// depend on dist, so the interface lives here and the fleet scheduler
-// (src/dist/job_scheduler.hpp) implements it.
+// (DESIGN.md §15). The engine's driver loop normally executes a
+// Study-asked round (DESIGN.md §16) on its thread pool; when
+// OptimizerOptions.dispatcher is set, the prepared (asked + admitted)
+// candidates are handed to a RoundDispatcher instead and the engine
+// blocks until the round's records come back, then tells them to the
+// Study in sample order. core cannot depend on dist, so the interface
+// lives here and the fleet scheduler (src/dist/job_scheduler.hpp)
+// implements it.
 //
 // Determinism contract: jobs are index-pure — a record must be a function
 // of (run seed, sample index, configuration) only, exactly as the
@@ -13,7 +15,7 @@
 // any order, on any worker, any number of times (lost jobs are requeued);
 // it must return one record per job, in job order, with record contents
 // bit-identical to what ResilientEvaluator::evaluate(config, rule, index,
-// detached=true) would produce in-process. The engine re-stamps
+// detached=true) would produce in-process. Study::tell re-stamps
 // record.config from its own proposal copy, so configurations need not
 // round-trip the wire exactly — but sample results must.
 

@@ -1,7 +1,9 @@
 #include "core/evaluation_engine.hpp"
 
-#include <algorithm>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/proposer.hpp"
@@ -12,20 +14,18 @@ namespace hp::core {
 
 namespace {
 
-/// Loop-phase instruments; process-global, fetched once. Wall-time
+/// Driver-phase instruments; process-global, fetched once. Wall-time
 /// histograms measure real phase durations — the virtual clock is charged
 /// separately from modelled costs and is never read here.
-struct LoopMetrics {
+struct DriverMetrics {
   obs::Counter& rounds;
-  obs::Histogram& propose_s;
   obs::Histogram& round_evaluate_s;
   obs::Histogram& merge_s;
 
-  static LoopMetrics& get() {
+  static DriverMetrics& get() {
     obs::MetricsRegistry& m = obs::metrics();
-    static LoopMetrics instance{
+    static DriverMetrics instance{
         m.counter("optimizer.rounds"),
-        m.histogram("optimizer.propose_s"),
         m.histogram("optimizer.round_evaluate_s"),
         m.histogram("optimizer.merge_s"),
     };
@@ -33,19 +33,48 @@ struct LoopMetrics {
   }
 };
 
+/// The in-process dispatcher: evaluates a round's jobs on the shared
+/// thread pool through the exact seam the process fleet implements
+/// (core/dispatch.hpp), so batched-ThreadPool mode and fleet mode are the
+/// same driver loop with a different executor behind it. Jobs are
+/// index-pure detached evaluations written into disjoint slots; the
+/// pool's parallel_for barrier publishes them.
+class PoolDispatcher final : public RoundDispatcher {
+ public:
+  PoolDispatcher(parallel::ThreadPool& pool, ResilientEvaluator& evaluator,
+                 const EarlyTerminationRule* rule) noexcept
+      : pool_(pool), evaluator_(evaluator), rule_(rule) {}
+
+  std::vector<EvaluationRecord> evaluate_round(
+      std::vector<RoundJob> jobs) override {
+    std::vector<EvaluationRecord> records(jobs.size());
+    pool_.parallel_for(jobs.size(), [&](std::size_t k) {
+      ResilientOutcome outcome =
+          evaluator_.evaluate(jobs[k].config, rule_, jobs[k].sample_index,
+                              /*detached=*/true);
+      records[k] = std::move(outcome.record);
+    });
+    return records;
+  }
+
+ private:
+  parallel::ThreadPool& pool_;
+  ResilientEvaluator& evaluator_;
+  const EarlyTerminationRule* rule_;
+};
+
+constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
+
 }  // namespace
 
 EvaluationEngine::EvaluationEngine(
     const HyperParameterSpace& space, Objective& objective,
     ConstraintBudgets budgets, const HardwareConstraints* apriori_constraints,
     OptimizerOptions options, Proposer& proposer)
-    : space_(space),
-      objective_(objective),
-      budgets_(budgets),
-      apriori_constraints_(apriori_constraints),
+    : objective_(objective),
       options_(std::move(options)),
-      proposer_(proposer),
-      recorder_(options_) {
+      study_(space, budgets, apriori_constraints, options_, proposer,
+             objective.clock()) {
   if (options_.max_samples == 0) {
     throw std::invalid_argument("EvaluationEngine: max_samples must be > 0");
   }
@@ -70,11 +99,6 @@ EvaluationEngine::EvaluationEngine(
   }
 }
 
-const HardwareConstraints* EvaluationEngine::active_constraints()
-    const noexcept {
-  return options_.use_hardware_models ? apriori_constraints_ : nullptr;
-}
-
 RunResult EvaluationEngine::run() { return run_impl(nullptr); }
 
 RunResult EvaluationEngine::resume(
@@ -89,390 +113,101 @@ RunResult EvaluationEngine::run_impl(
   run_span.trace_arg({"seed", options_.seed});
   run_span.trace_arg({"batch_size", options_.batch_size});
   run_span.trace_arg({"num_threads", options_.num_threads});
-  recorder_.begin_run();
-  ProposerRunContext context;
-  context.budgets = &budgets_;
-  context.active_constraints = active_constraints();
-  context.incumbent = &recorder_.incumbent();
-  context.seed = options_.seed;
-  proposer_.begin_run(context);
-
-  obs::Logger& log = obs::logger();
-  if (log.enabled(obs::LogLevel::kInfo)) {
-    log.info("optimizer.run",
-             {{"method", obs::JsonValue(proposer_.name())},
-              {"mode", obs::JsonValue(options_.batch_size > 1
-                                          ? std::string("batched")
-                                          : std::string("sequential"))},
-              {"seed", obs::JsonValue(options_.seed)},
-              {"batch_size", obs::JsonValue(options_.batch_size)},
-              {"num_threads", obs::JsonValue(options_.num_threads)},
-              {"resumed", obs::JsonValue(replay != nullptr)}});
-  }
-
-  // Batched mode replays only whole rounds: round r's proposals (and the
-  // constant-liar surrogate state behind them) are a function of rounds
-  // 0..r-1, so a partial round cannot be re-aligned — it is dropped and
-  // re-evaluated instead (index-pure evaluations make the records come
-  // out identical).
-  std::vector<EvaluationRecord> kept;
-  if (replay != nullptr) {
-    kept = *replay;
-    if (options_.batch_size > 1) {
-      kept.resize(kept.size() / options_.batch_size * options_.batch_size);
-    }
-  }
-
-  journal_ = EvalJournal{};
-  if (!options_.journal_path.empty()) {
-    const JournalHeader header{proposer_.name(), options_.seed,
-                               options_.batch_size};
-    journal_ = replay != nullptr
-                   ? EvalJournal::rewrite(options_.journal_path, header, kept)
-                   : EvalJournal::create(options_.journal_path, header);
-  }
-
-  stats::Rng shared_rng(options_.seed);
-  if (!kept.empty()) {
-    replay_records(kept, shared_rng);
-    log.info("optimizer.resume",
-             {{"replayed", obs::JsonValue(kept.size())},
-              {"dropped", obs::JsonValue(replay->size() - kept.size())},
-              {"clock_s", obs::JsonValue(objective_.clock().now_s())}});
-  }
+  replay != nullptr ? study_.resume(*replay) : study_.begin();
 
   ResilientEvaluator evaluator(objective_, options_.retry, options_.seed);
-  RunResult result = run_loop(shared_rng, evaluator);
-  if (log.enabled(obs::LogLevel::kInfo)) {
-    const RunRecorder::Tally& tally = recorder_.tally();
-    std::vector<obs::LogField> fields{
-        {"method", obs::JsonValue(proposer_.name())},
-        {"samples", obs::JsonValue(result.trace.size())},
-        {"completed", obs::JsonValue(tally.completed)},
-        {"model_filtered", obs::JsonValue(tally.model_filtered)},
-        {"early_terminated", obs::JsonValue(tally.early_terminated)},
-        {"infeasible", obs::JsonValue(tally.infeasible)},
-        {"failed", obs::JsonValue(tally.failed)},
-        {"retries", obs::JsonValue(tally.retries)},
-        {"fallbacks", obs::JsonValue(tally.fallbacks)},
-        {"measured_violations", obs::JsonValue(tally.measured_violations)},
-        {"aborted", obs::JsonValue(result.aborted)},
-        {"clock_s", obs::JsonValue(objective_.clock().now_s())},
-    };
-    if (result.best) {
-      fields.push_back({"best_error", obs::JsonValue(result.best->test_error)});
-    }
-    log.info("optimizer.done", std::move(fields));
-  }
-  journal_ = EvalJournal{};  // close the file
-  return result;
-}
-
-void EvaluationEngine::replay_one(const EvaluationRecord& record) {
-  if (record.index != recorder_.trace().size()) {
-    throw std::runtime_error(
-        "resume: journal records are not a contiguous prefix (record index " +
-        std::to_string(record.index) + " at position " +
-        std::to_string(recorder_.trace().size()) + ")");
-  }
-  Clock& clock = objective_.clock();
-  const double delta = record.timestamp_s - clock.now_s();
-  if (delta > 0.0) clock.advance(delta);
-  EvaluationRecord copy = record;
-  recorder_.observe_sample(copy, RunRecorder::SampleMode::kReplay);
-  proposer_.observe(copy);
-  (void)recorder_.commit(std::move(copy), RunRecorder::SampleMode::kReplay);
-}
-
-void EvaluationEngine::replay_records(
-    const std::vector<EvaluationRecord>& kept, stats::Rng& shared_rng) {
-  const auto mismatch = [](std::size_t index) {
-    throw std::runtime_error(
-        "resume: replayed proposal diverges from the journal at sample " +
-        std::to_string(index) +
-        " (journal written with different seed/method/options?)");
-  };
-  if (options_.batch_size == 1) {
-    // The sequential loop consumes one propose() per record from a single
-    // shared stream; re-proposing (and discarding) advances the stream and
-    // any strategy-internal proposal state exactly as the original run
-    // did.
-    for (const EvaluationRecord& record : kept) {
-      if (proposer_.propose(shared_rng) != record.config) {
-        mismatch(record.index);
-      }
-      replay_one(record);
-    }
-    return;
-  }
-  std::size_t base = 0;
-  while (base < kept.size()) {
-    const std::size_t count =
-        std::min(options_.batch_size, kept.size() - base);
-    if (!proposer_.supports_parallel_proposals()) {
-      // Sequential proposal state (the constant-liar surrogate, the grid
-      // cursor) must be re-advanced; re-running the batch keeps it aligned
-      // with the original run.
-      const std::vector<Configuration> proposals =
-          proposer_.propose_batch(base, count);
-      for (std::size_t j = 0; j < count; ++j) {
-        if (j >= proposals.size() || proposals[j] != kept[base + j].config) {
-          mismatch(base + j);
-        }
-      }
-    }
-    // Parallel proposals only *read* shared state (per-sample streams),
-    // so they need no replay; finalize order is all that matters.
-    for (std::size_t j = 0; j < count; ++j) {
-      replay_one(kept[base + j]);
-    }
-    base += count;
-  }
-}
-
-void EvaluationEngine::finalize_live(EvaluationRecord& record) {
-  obs::ScopedTimer finalize_span("optimizer.sample.finalize", nullptr,
-                                 obs::LogLevel::kTrace,
-                                 recorder_.trace().size());
-  // Classify against the *measured* metrics (both modes measure after
-  // training; the default mode just could not avoid the cost).
-  if (record.status == EvaluationStatus::Completed ||
-      record.status == EvaluationStatus::EarlyTerminated) {
-    if (apriori_constraints_ != nullptr) {
-      record.violates_constraints = !apriori_constraints_->measured_feasible(
-          record.measured_power_w, record.measured_memory_mb);
-    } else {
-      HardwareConstraints plain(budgets_, std::nullopt, std::nullopt);
-      record.violates_constraints = !plain.measured_feasible(
-          record.measured_power_w, record.measured_memory_mb);
-    }
-  }
-  record.timestamp_s = objective_.clock().now_s();
-  recorder_.observe_sample(record, RunRecorder::SampleMode::kLive);
-  proposer_.observe(record);
-  const EvaluationRecord& stored =
-      recorder_.commit(std::move(record), RunRecorder::SampleMode::kLive);
-  // Journal after the record is final (index/timestamp/classification
-  // set): the journal's crash-safety contract is "what it holds can be
-  // replayed verbatim".
-  journal_.append(stored);
-}
-
-bool EvaluationEngine::check_abort(RunResult& result) {
-  const std::size_t limit = options_.retry.max_consecutive_failed_samples;
-  const std::size_t failures = recorder_.consecutive_failures();
-  if (limit == 0 || failures < limit) return false;
-  result.aborted = true;
-  result.abort_reason = "aborted after " + std::to_string(failures) +
-                        " consecutive failed evaluations";
-  obs::logger().error(
-      "optimizer.aborted",
-      {{"consecutive_failures", obs::JsonValue(failures)},
-       {"samples", obs::JsonValue(recorder_.trace().size())}});
-  if (obs::flight_recorder().enabled()) {
-    obs::flight_recorder().dump_to_stderr("consecutive-failure abort");
-  }
-  return true;
-}
-
-RunResult EvaluationEngine::run_loop(stats::Rng& shared_rng,
-                                     ResilientEvaluator& evaluator) {
-  RunResult result;
-  Clock& clock = objective_.clock();
   const bool batched = options_.batch_size > 1;
-  // Global sample counter = RNG stream index; replayed records occupy
-  // [0, trace.size()).
-  std::size_t next_sample = recorder_.trace().size();
-
-  // Fleet mode hands rounds to the dispatcher's worker processes; the
-  // engine thread then only proposes, filters, and merges, so no pool is
-  // spawned.
   const bool fleet = options_.dispatcher != nullptr;
-
-  // num_threads counts the threads doing work; the calling thread
-  // participates in every round, so K threads = K-1 pool workers.
-  // Sequential mode evaluates on the engine thread and spawns no pool.
-  std::optional<parallel::ThreadPool> pool;
-  if (batched && !fleet) pool.emplace(options_.num_threads - 1);
-  const bool concurrent_eval =
-      batched && objective_.supports_concurrent_evaluation();
-  const HardwareConstraints* filter =
-      options_.filter_before_training ? active_constraints() : nullptr;
   const EarlyTerminationRule* rule =
       options_.use_early_termination ? &options_.early_termination : nullptr;
 
-  bool stopped = false;
-  while (!stopped && next_sample < options_.max_samples) {
-    if (recorder_.function_evaluations() >=
-        options_.max_function_evaluations) {
-      break;
-    }
-    if (clock.now_s() >= options_.max_runtime_s) break;
-    if (proposer_.exhausted()) break;
-    const std::size_t round_base = next_sample;
-    std::size_t count =
-        std::min(options_.batch_size, options_.max_samples - round_base);
+  // One dispatcher per concurrent execution mode: the fleet's, or the
+  // internal pool-backed one. num_threads counts the threads doing work;
+  // the calling thread participates in every round, so K threads = K-1
+  // pool workers. No concurrent path (sequential mode, or an objective
+  // driving real hardware) leaves the dispatcher null and evaluates
+  // during the tell loop, in sample order — still deterministic, just not
+  // overlapped.
+  const bool concurrent_eval =
+      batched && objective_.supports_concurrent_evaluation();
+  std::optional<parallel::ThreadPool> pool;
+  std::optional<PoolDispatcher> pool_dispatcher;
+  RoundDispatcher* dispatcher = options_.dispatcher;
+  if (concurrent_eval && !fleet) {
+    pool.emplace(options_.num_threads - 1);
+    pool_dispatcher.emplace(*pool, evaluator, rule);
+    dispatcher = &*pool_dispatcher;
+  }
 
-    // Keyed by round_base (a pure function of the run, not of scheduling)
-    // so the round's span id — and the ids of everything beneath it — is
-    // identical at any thread count.
+  while (!study_.finished()) {
+    // Keyed by the round's base sample index (a pure function of the run,
+    // not of scheduling) so the round's span id — and the ids of
+    // everything beneath it — is identical at any thread count.
+    const std::size_t round_base = study_.next_sample_index();
     obs::ScopedTimer round_span("optimizer.round", nullptr,
                                 obs::LogLevel::kTrace, round_base);
     round_span.trace_arg({"round_base", round_base});
+    if (batched && obs::metrics().enabled()) DriverMetrics::get().rounds.add(1);
 
-    if (batched && obs::metrics().enabled()) LoopMetrics::get().rounds.add(1);
+    // Ask: the study proposes, model-filters, and numbers the round.
+    std::vector<Trial> trials = study_.ask(options_.batch_size);
+    if (trials.empty()) break;
 
-    // Phase 1 — proposals. Sequential mode draws its one candidate from
-    // the run's shared stream; strategies with sequential proposal state
-    // (constant-liar BO, the grid cursor) produce the whole round up front
-    // on this thread; the rest propose inside the worker tasks.
-    std::vector<Configuration> proposals;
-    if (!batched || !proposer_.supports_parallel_proposals()) {
-      obs::ScopedTimer timer("optimize.propose", &LoopMetrics::get().propose_s,
-                             obs::LogLevel::kTrace, round_base);
-      proposals = batched ? proposer_.propose_batch(round_base, count)
-                          : std::vector<Configuration>{
-                                proposer_.propose(shared_rng)};
-      // A finite strategy may run out mid-batch: truncate the round to the
-      // proposals actually produced instead of padding with repeats.
-      if (proposals.size() < count) {
-        count = proposals.size();
-        if (count == 0) break;
-      }
-    }
-
-    // Phase 2 — generate + filter + evaluate the round concurrently. Each
-    // task depends only on (run seed, its global sample index) and
-    // snapshots of round-constant state, so scheduling order is
-    // irrelevant to the result.
-    struct Slot {
-      EvaluationRecord record;
-      bool deferred_evaluation = false;
-    };
-    std::vector<Slot> slots(count);
-    const auto mark_filtered = [&](Slot& slot, Configuration config) {
-      slot.record.config = std::move(config);
-      slot.record.status = EvaluationStatus::ModelFiltered;
-      slot.record.test_error = 1.0;
-      slot.record.violates_constraints = true;  // violating *by prediction*
-      slot.record.cost_s = options_.model_filter_overhead_s;
-    };
-    const auto prepare = [&](std::size_t j) {
-      stats::Rng rng(stats::stream_seed(options_.seed, round_base + j));
-      Configuration config =
-          proposals.empty() ? proposer_.propose(rng) : std::move(proposals[j]);
-      Slot& slot = slots[j];
-      if (filter != nullptr &&
-          !filter->predicted_feasible(space_.structural_vector(config))) {
-        mark_filtered(slot, std::move(config));
-        return;
-      }
-      if (concurrent_eval) {
-        ResilientOutcome outcome =
-            evaluator.evaluate(config, rule, round_base + j,
-                               /*detached=*/true);
-        slot.record = std::move(outcome.record);
-        slot.record.config = std::move(config);
-      } else {
-        // No concurrent path (sequential mode, or an objective driving
-        // real hardware): evaluate during the merge, in sample order —
-        // still deterministic at any thread count, just not overlapped.
-        slot.record.config = std::move(config);
-        slot.deferred_evaluation = true;
-      }
-    };
-    if (fleet) {
-      // Fleet round: propose + filter on the engine thread (the per-sample
-      // streams are read-only to shared state, so sequential
-      // materialization is bit-identical to the pool's), then dispatch the
-      // surviving candidates and bind the returned records back by slot.
-      // The engine re-stamps record.config from its own copy — results,
-      // not configurations, are what must survive the wire.
-      std::vector<RoundJob> jobs;
-      std::vector<std::size_t> job_slot;
-      for (std::size_t j = 0; j < count; ++j) {
-        stats::Rng rng(stats::stream_seed(options_.seed, round_base + j));
-        Configuration config = proposals.empty() ? proposer_.propose(rng)
-                                                 : std::move(proposals[j]);
-        Slot& slot = slots[j];
-        if (filter != nullptr &&
-            !filter->predicted_feasible(space_.structural_vector(config))) {
-          mark_filtered(slot, std::move(config));
-          continue;
-        }
-        jobs.push_back(RoundJob{round_base + j, config});
-        job_slot.push_back(j);
-        slot.record.config = std::move(config);
+    // Execute: hand every trial that needs an evaluation to the
+    // dispatcher. Records come back in job order; the study re-stamps
+    // configurations at tell, so only results must survive execution.
+    std::vector<EvaluationRecord> records;
+    std::vector<std::size_t> job_of(trials.size(), kNoJob);
+    if (dispatcher != nullptr) {
+      std::vector<RoundJob> jobs = jobs_from_trials(trials);
+      std::size_t next_job = 0;
+      for (std::size_t i = 0; i < trials.size(); ++i) {
+        if (trials[i].requires_evaluation) job_of[i] = next_job++;
       }
       if (!jobs.empty()) {
         obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
-                                        &LoopMetrics::get().round_evaluate_s,
+                                        &DriverMetrics::get().round_evaluate_s,
                                         obs::LogLevel::kTrace, round_base);
-        std::vector<EvaluationRecord> records =
-            options_.dispatcher->evaluate_round(std::move(jobs));
-        if (records.size() != job_slot.size()) {
+        const std::size_t expected = jobs.size();
+        records = dispatcher->evaluate_round(std::move(jobs));
+        if (records.size() != expected) {
           throw std::runtime_error(
               "EvaluationEngine: dispatcher returned " +
               std::to_string(records.size()) + " records for " +
-              std::to_string(job_slot.size()) + " jobs");
-        }
-        for (std::size_t k = 0; k < records.size(); ++k) {
-          Slot& slot = slots[job_slot[k]];
-          Configuration config = std::move(slot.record.config);
-          slot.record = std::move(records[k]);
-          slot.record.config = std::move(config);
+              std::to_string(expected) + " jobs");
         }
       }
-    } else if (batched) {
-      obs::ScopedTimer evaluate_timer("optimize.round_evaluate",
-                                      &LoopMetrics::get().round_evaluate_s,
-                                      obs::LogLevel::kTrace, round_base);
-      pool->parallel_for(count, prepare);
-    } else {
-      prepare(0);
     }
-    next_sample += count;
 
-    // Phase 3 — merge in canonical sample order, re-checking the stopping
-    // rules before every sample (a round crossing a budget discards its
-    // tail, so the trace never depends on batch scheduling). The
-    // per-proposal overhead and any detached costs are charged to the
-    // clock here, sample by sample.
+    // Tell: book the round in canonical sample order. The study re-checks
+    // the stopping rules before admitting every trial (a round crossing a
+    // budget discards its tail) and charges proposal overheads and
+    // detached costs to the clock, sample by sample.
     std::optional<obs::ScopedTimer> merge_timer;
     if (batched) {
-      merge_timer.emplace("optimize.merge", &LoopMetrics::get().merge_s,
+      merge_timer.emplace("optimize.merge", &DriverMetrics::get().merge_s,
                           obs::LogLevel::kTrace, round_base);
     }
-    for (std::size_t j = 0; j < count; ++j) {
-      if (recorder_.function_evaluations() >=
-              options_.max_function_evaluations ||
-          clock.now_s() >= options_.max_runtime_s) {
-        stopped = true;
-        break;
-      }
-      clock.advance(proposer_.proposal_overhead_s());
-      EvaluationRecord record = std::move(slots[j].record);
-      if (slots[j].deferred_evaluation) {
-        Configuration config = std::move(record.config);
-        ResilientOutcome outcome =
-            evaluator.evaluate(config, rule, round_base + j,
-                               /*detached=*/false);
-        record = std::move(outcome.record);
-        record.config = std::move(config);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      Trial& trial = trials[i];
+      if (!study_.begin_trial(trial.sample_index)) break;
+      if (!trial.requires_evaluation) {
+        study_.tell({trial.sample_index, std::move(trial.resolved),
+                     /*cost_on_clock=*/false});
+      } else if (job_of[i] != kNoJob) {
+        study_.tell({trial.sample_index, std::move(records[job_of[i]]),
+                     /*cost_on_clock=*/false});
       } else {
-        clock.advance(record.cost_s);
+        ResilientOutcome outcome =
+            evaluator.evaluate(trial.config, rule, trial.sample_index,
+                               /*detached=*/false);
+        study_.tell({trial.sample_index, std::move(outcome.record),
+                     /*cost_on_clock=*/true});
       }
-      finalize_live(record);
-      if (check_abort(result)) {
-        stopped = true;
-        break;
-      }
+      if (study_.aborted()) break;
     }
   }
-
-  result.best = recorder_.incumbent();
-  result.trace = recorder_.take_trace();
-  return result;
+  return study_.finish();
 }
 
 }  // namespace hp::core

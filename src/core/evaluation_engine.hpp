@@ -1,131 +1,47 @@
 #pragma once
-// Evaluation-engine layer of the pipeline (DESIGN.md §12): the ONE loop
-// every method runs through. The engine owns candidate batching (thread
-// pool), the retry/backoff/deadline wrapper (ResilientEvaluator), the
-// crash-safe journal, and journal replay; the strategy it drives is a
-// Proposer (core/proposer.hpp) and the books are kept by a RunRecorder
-// (core/run_recorder.hpp). It replaces the former Optimizer-internal
-// trio run()/run_batched()/resume(), whose three near-duplicate loops had
-// to agree sample-for-sample to keep the determinism contract.
+// Evaluation-engine layer of the pipeline (DESIGN.md §12, §16): the ONE
+// driver loop every method runs through. Since the ask/tell refactor the
+// engine owns no run bookkeeping of its own — proposal state, the books,
+// the journal, replay, and the trial lifecycle all live in core::Study
+// (core/study.hpp) — and the engine is purely the *execution* side:
 //
-// The unified loop is round-based: sequential mode (batch_size == 1) is a
-// round of one candidate proposed from the run's single shared RNG stream
-// and evaluated on the engine thread; batched mode proposes each sample
-// from its own (seed, sample-index) stream and evaluates the round on the
-// pool, merging records in canonical sample order. Traces are therefore a
-// pure function of (seed, batch_size) — never of num_threads — and a run
-// resumed from the journal is bit-identical to an uninterrupted one (the
-// golden-trace suite pins both properties against pre-pipeline captures).
+//   while the study is not finished:
+//     trials = study.ask(batch_size)
+//     evaluate the trials that need it (engine thread, thread pool, or
+//     the process fleet — all through the RoundDispatcher seam)
+//     for each trial, in sample order:
+//       study.begin_trial(...); study.tell(result)
+//
+// Sequential mode (batch_size == 1), batched-ThreadPool mode, fleet mode,
+// and resume are all this one loop; only the dispatcher behind the
+// execution step differs. That is what makes in-process and multi-process
+// execution provably the same state machine: the fleet's FleetScheduler
+// (src/dist/job_scheduler.hpp) and the engine's internal pool-backed
+// dispatcher implement the same interface over the same Study-issued
+// jobs. Traces remain a pure function of (seed, batch_size) — never of
+// num_threads or worker count — and a run resumed from the journal is
+// bit-identical to an uninterrupted one (the golden-trace suite pins both
+// properties against pre-pipeline captures).
 //
 // Concurrency contract (DESIGN.md §14): the engine owns NO mutex of its
-// own — deliberately. A batched round fans out over disjoint indexed
-// slots (one writer per slot, by construction), the pool's parallel_for
-// barrier publishes them, and the merge reads them single-threaded in
-// canonical order afterwards; shared round state is only read inside
-// tasks. Concurrency primitives live one layer down, in the annotated
-// ThreadPool / ResilientEvaluator / obs types (core/thread_annotations
-// .hpp), so there is no guarded state here for Clang TSA to check — keep
-// it that way: new round-scoped engine state should be per-slot or
-// round-constant, not lock-guarded.
+// own — deliberately. A round fans out over disjoint indexed jobs (one
+// writer per job slot, by construction), the dispatcher's barrier
+// publishes them, and the tell loop reads them single-threaded in
+// canonical order afterwards. Concurrency primitives live one layer down,
+// in the annotated ThreadPool / ResilientEvaluator / obs types
+// (core/thread_annotations.hpp), so there is no guarded state here for
+// Clang TSA to check — keep it that way: new round-scoped engine state
+// should be per-job or round-constant, not lock-guarded.
 
-#include <cstdint>
-#include <limits>
-#include <optional>
-#include <string>
 #include <vector>
 
-#include "core/acquisition.hpp"
-#include "core/dispatch.hpp"
-#include "core/objective.hpp"
-#include "core/resilience.hpp"
-#include "core/run_recorder.hpp"
-#include "core/run_trace.hpp"
-#include "core/search_space.hpp"
-#include "core/trace_io.hpp"
-#include "stats/rng.hpp"
+#include "core/study.hpp"
 
 namespace hp::core {
 
 class Proposer;
 
-/// Shared optimizer options.
-struct OptimizerOptions {
-  /// Fixed-evaluations mode: stop after this many *function evaluations*
-  /// (actual trainings; model-filtered samples do not count).
-  std::size_t max_function_evaluations =
-      std::numeric_limits<std::size_t>::max();
-  /// Time-budget mode: stop querying new samples once the clock passes
-  /// this; the in-flight sample is allowed to complete (as in the paper's
-  /// wall-clock experiments).
-  double max_runtime_s = std::numeric_limits<double>::infinity();
-  std::uint64_t seed = 1;
-
-  /// HyperPower enhancement 1: discard candidates the power/memory models
-  /// predict to violate the budgets, before training.
-  bool use_hardware_models = true;
-  /// When false, predicted-violating candidates are still trained (and
-  /// counted as measured violations) while BO acquisitions keep using the
-  /// a-priori models — the regime of the paper's fixed-evaluations
-  /// comparison (Figure 4), where every method pays for its own samples.
-  bool filter_before_training = true;
-  /// HyperPower enhancement 2: abort diverging candidates after a few
-  /// epochs.
-  bool use_early_termination = true;
-  EarlyTerminationRule early_termination{};
-
-  /// Cost charged for generating + model-checking a filtered candidate
-  /// (network prototxt generation plus two dot products, in seconds).
-  double model_filter_overhead_s = 3.0;
-  /// Cost charged when network generation fails outright.
-  double infeasible_arch_overhead_s = 5.0;
-  /// Safety cap on total queried samples per run.
-  std::size_t max_samples = 200000;
-
-  /// Batched evaluation: candidates generated + filtered + evaluated per
-  /// round. 1 selects the classic strictly sequential loop; K > 1 runs
-  /// rounds of K candidates whose records are merged into the trace in
-  /// sample order. Each sample draws from its own RNG stream seeded by
-  /// (seed, sample index), so a batched run is bit-identical at any
-  /// num_threads (but intentionally differs from the batch_size = 1 run,
-  /// which consumes a single sequential stream).
-  std::size_t batch_size = 1;
-  /// Worker threads evaluating a round (used only when batch_size > 1;
-  /// 1 = evaluate the round on the calling thread).
-  std::size_t num_threads = 1;
-
-  /// Fleet mode: when set, batched rounds are evaluated by this dispatcher
-  /// (a process fleet — src/dist/job_scheduler.hpp) instead of the
-  /// in-process thread pool. Non-owning; must outlive the run. Requires
-  /// batch_size > 1 and an objective that supports concurrent evaluation
-  /// (jobs must be index-pure for redispatch after a worker loss to be
-  /// safe) — the engine constructor throws otherwise. Proposal, filtering,
-  /// and merge stay on the engine thread, so the trace remains a pure
-  /// function of (seed, batch_size) — never of worker count or scheduling.
-  RoundDispatcher* dispatcher = nullptr;
-
-  /// Resilience: retry/timeout/backoff applied to every evaluation
-  /// (core/resilience.hpp). With the defaults, an objective exception is
-  /// retried up to twice and then recorded as a Failed sample instead of
-  /// aborting the run.
-  RetryPolicy retry{};
-  /// Path of the crash-safe evaluation journal; "" disables journaling.
-  /// Written (fsync'd) as each record completes, so a killed run can
-  /// continue via resume() with a bit-identical trace.
-  std::string journal_path;
-};
-
-/// Outcome of a run.
-struct RunResult {
-  RunTrace trace;
-  std::optional<EvaluationRecord> best;
-  /// True when the run stopped early because
-  /// retry.max_consecutive_failed_samples candidates in a row failed —
-  /// the environment is persistently broken, not one candidate.
-  bool aborted = false;
-  std::string abort_reason;
-};
-
-/// The unified propose → filter → evaluate → record loop.
+/// The ask → execute → tell driver over a core::Study.
 class EvaluationEngine {
  public:
   /// @param space the hyper-parameter space.
@@ -135,7 +51,7 @@ class EvaluationEngine {
   ///        to run without a-priori models (the models are also ignored
   ///        when options.use_hardware_models is false).
   /// @param proposer the candidate-selection strategy; must outlive the
-  ///        engine. The engine calls Proposer::begin_run at the start of
+  ///        engine. The study calls Proposer::begin_run at the start of
   ///        every run/resume.
   /// Throws std::invalid_argument on zero max_samples/batch_size/
   /// num_threads.
@@ -151,10 +67,10 @@ class EvaluationEngine {
   [[nodiscard]] RunResult run();
 
   /// Continues a crashed run: replays @p completed records (journal order)
-  /// as if they had just been evaluated — restoring the clock, RNG streams,
-  /// incumbent, and surrogate state — then resumes the loop, so the final
-  /// trace is bit-identical to an uninterrupted run with the same options.
-  /// In batched mode a trailing partial round is discarded and
+  /// through Study::resume — restoring the clock, RNG streams, incumbent,
+  /// and surrogate state — then re-enters the same driver loop, so the
+  /// final trace is bit-identical to an uninterrupted run with the same
+  /// options. In batched mode a trailing partial round is discarded and
   /// re-evaluated (evaluations are index-pure, so the records come out
   /// identical). Throws std::runtime_error when the records do not match
   /// this run's configuration (wrong seed/method/space).
@@ -165,43 +81,26 @@ class EvaluationEngine {
     return options_;
   }
   [[nodiscard]] const ConstraintBudgets& budgets() const noexcept {
-    return budgets_;
+    return study_.budgets();
   }
   /// The a-priori constraints if present AND enabled, else nullptr.
-  [[nodiscard]] const HardwareConstraints* active_constraints() const noexcept;
+  [[nodiscard]] const HardwareConstraints* active_constraints()
+      const noexcept {
+    return study_.active_constraints();
+  }
+  /// The ask/tell state machine this engine drives (read-side, for
+  /// progress inspection: Study::snapshot).
+  [[nodiscard]] const Study& study() const noexcept { return study_; }
 
  private:
-  /// Shared body of run()/resume(): replay (if any), then the live loop.
+  /// Shared body of run()/resume(): start or resume the study, then drive
+  /// ask → execute → tell until it finishes.
   [[nodiscard]] RunResult run_impl(
       const std::vector<EvaluationRecord>* replay);
-  /// The round-based live loop (sequential mode = rounds of one drawing
-  /// from @p shared_rng).
-  [[nodiscard]] RunResult run_loop(stats::Rng& shared_rng,
-                                   ResilientEvaluator& evaluator);
-  /// Re-applies already-evaluated records: advances the proposal streams /
-  /// strategy state exactly as the original run did, restores the clock
-  /// and incumbent, and appends to the trace — without invoking the
-  /// objective.
-  void replay_records(const std::vector<EvaluationRecord>& kept,
-                      stats::Rng& shared_rng);
-  /// Replay tail of one record (clock, recorder books, proposer observe).
-  void replay_one(const EvaluationRecord& record);
-  /// Classifies a trained record against the measured budgets, stamps the
-  /// timestamp, books it through the recorder (which emits the per-sample
-  /// events), lets the proposer observe it, and journals it.
-  void finalize_live(EvaluationRecord& record);
-  /// True when the consecutive-failure budget is exhausted; stamps
-  /// @p result and logs the abort.
-  [[nodiscard]] bool check_abort(RunResult& result);
 
-  const HyperParameterSpace& space_;
   Objective& objective_;
-  ConstraintBudgets budgets_;
-  const HardwareConstraints* apriori_constraints_;
   OptimizerOptions options_;
-  Proposer& proposer_;
-  RunRecorder recorder_;
-  EvalJournal journal_;
+  Study study_;
 };
 
 }  // namespace hp::core

@@ -1,15 +1,17 @@
 #pragma once
 // Optimizer facade: binds one proposal strategy (core/proposer.hpp) to the
-// evaluation engine (core/evaluation_engine.hpp) and the run recorder
-// behind it. The four methods of the paper — Rand, Rand-Walk, HW-CWEI,
-// HW-IECI (plus the Grid baseline) — are thin subclasses that construct
-// their Proposer; the loop itself, including the two HyperPower
-// enhancements that can be switched off to obtain the paper's "default"
-// (exhaustive, constraint-unaware) counterparts —
+// ask/tell Study core (core/study.hpp, DESIGN.md §16) and the
+// EvaluationEngine driver (core/evaluation_engine.hpp) that executes it.
+// The four methods of the paper — Rand, Rand-Walk, HW-CWEI, HW-IECI (plus
+// the Grid baseline) — are thin subclasses that construct their Proposer;
+// the run itself, including the two HyperPower enhancements that can be
+// switched off to obtain the paper's "default" (exhaustive,
+// constraint-unaware) counterparts —
 //   1. a-priori constraint filtering through the predictive models, and
 //   2. early termination of diverging candidates —
-// lives entirely in EvaluationEngine. Compose Optimizer directly with a
-// custom Proposer to add a new search method without subclassing.
+// lives entirely in the Study's ask/tell bookkeeping plus the engine's
+// driver loop. Compose Optimizer directly with a custom Proposer to add a
+// new search method without subclassing.
 
 #include <memory>
 #include <string>

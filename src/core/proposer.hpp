@@ -3,10 +3,13 @@
 //
 // A Proposer is a pure candidate-selection strategy: given the space (and,
 // for model-based methods, the records observed so far) it produces the
-// next configuration(s) to try. It owns no loop — batching, retries,
-// journaling, replay, and stopping rules all live in EvaluationEngine
-// (core/evaluation_engine.hpp), and trace/incumbent bookkeeping in
-// RunRecorder (core/run_recorder.hpp). The four methods of the paper
+// next configuration(s) to try. It owns no loop — batching, journaling,
+// replay, and stopping rules live in the ask/tell Study
+// (core/study.hpp, DESIGN.md §16), retries and execution in the
+// EvaluationEngine driver (core/evaluation_engine.hpp), and
+// trace/incumbent bookkeeping in RunRecorder (core/run_recorder.hpp).
+// Only the Study mutates a Proposer (lint rule `study-ask-tell`); drivers
+// see proposals as Trials from Study::ask. The four methods of the paper
 // (Rand, Rand-Walk, HW-IECI/HW-CWEI BayesOpt, Grid) are implementations of
 // this interface; plugging in a new search method means writing a Proposer,
 // never touching the loop.

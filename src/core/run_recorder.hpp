@@ -5,8 +5,10 @@
 // per-sample observability events ("optimizer.sample" debug records,
 // "optimizer.progress" info lines, the optimizer.* metrics). It performs
 // no optimization logic and touches neither the clock nor the journal:
-// EvaluationEngine stamps records (timestamp, constraint classification)
-// and journals them after commit; the recorder just keeps the books.
+// Study::tell stamps records (timestamp, constraint classification) and
+// journals them after commit; the recorder just keeps the books. Only
+// the Study calls the mutating entry points (lint rule `study-ask-tell`,
+// DESIGN.md §16) — drivers read run state through Study::snapshot.
 //
 // Replay (journal resume) uses the same entry points with
 // SampleMode::kReplay, which keeps the counters and incumbent exactly

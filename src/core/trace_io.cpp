@@ -249,23 +249,35 @@ namespace {
 constexpr const char* kJournalMagic = "hpjournal";
 constexpr const char* kJournalVersionV1 = "v1";
 constexpr const char* kJournalVersionV2 = "v2";
+constexpr const char* kJournalVersionV3 = "v3";
 
 std::string journal_header_line(const JournalHeader& header) {
   std::ostringstream os;
-  os << kJournalMagic << ',' << kJournalVersionV2 << ',' << header.method << ','
+  os << kJournalMagic << ',' << kJournalVersionV3 << ',' << header.method << ','
      << header.seed << ',' << header.batch_size;
   return os.str();
 }
 
-/// v2 record line: the record body followed by ",#<8-hex crc32 of body>".
+/// v2+ journal line: the line body followed by ",#<8-hex crc32 of body>".
 /// The checksum turns "does the text still parse" into "is this the exact
 /// text that was written", which is what catches a torn middle write whose
 /// truncation happens to land on a field boundary.
-std::string checksummed_record_line(const EvaluationRecord& r) {
-  std::string body = format_record_line(r);
+std::string checksummed_line(const std::string& body) {
   char suffix[16];
   std::snprintf(suffix, sizeof suffix, ",#%08x", crc32(body));
   return body + suffix;
+}
+
+std::string checksummed_record_line(const EvaluationRecord& r) {
+  return checksummed_line(format_record_line(r));
+}
+
+/// The v3 clean-finalize marker. A distinct frame tag ("s", records use
+/// "r") keeps it unmistakable for a record even without the checksum.
+std::string epilogue_body(const std::string& state, std::size_t records) {
+  std::ostringstream os;
+  os << "s," << state << ',' << records;
+  return os.str();
 }
 
 /// Splits a v2 line into body + checksum field, verifies the checksum, and
@@ -340,10 +352,11 @@ JournalLoadResult EvalJournal::load(const std::string& path) {
   const auto header_fields = split_csv_row(line);
   if (header_fields.size() != 5 || header_fields[0] != kJournalMagic ||
       (header_fields[1] != kJournalVersionV1 &&
-       header_fields[1] != kJournalVersionV2)) {
+       header_fields[1] != kJournalVersionV2 &&
+       header_fields[1] != kJournalVersionV3)) {
     fail_journal("bad header in '" + path + "'");
   }
-  const bool checksummed = header_fields[1] == kJournalVersionV2;
+  const bool checksummed = header_fields[1] != kJournalVersionV1;
   JournalLoadResult result;
   result.header.method = header_fields[2];
   try {
@@ -361,10 +374,33 @@ JournalLoadResult EvalJournal::load(const std::string& path) {
     rows.emplace_back(line_number, line);
   }
   for (std::size_t i = 0; i < rows.size(); ++i) {
+    // Nothing may follow a study_state epilogue: the writer closes the
+    // file right after it, so a later line means the file was tampered
+    // with or interleaved — not a recoverable torn tail.
+    if (!result.study_state.empty()) {
+      fail_journal("line " + std::to_string(rows[i].first) +
+                   ": content after the study_state epilogue");
+    }
     try {
       const std::string body =
           checksummed ? verify_checksummed_line(rows[i].second, rows[i].first)
                       : rows[i].second;
+      if (body.rfind("s,", 0) == 0) {
+        const auto fields = split_csv_row(body);
+        if (fields.size() != 3 || fields[1].empty()) {
+          fail_journal("line " + std::to_string(rows[i].first) +
+                       ": malformed study_state epilogue");
+        }
+        if (static_cast<std::size_t>(
+                parse_number(fields[2], "epilogue record count")) !=
+            result.records.size()) {
+          fail_journal("line " + std::to_string(rows[i].first) +
+                       ": study_state epilogue record count does not match "
+                       "the journal");
+        }
+        result.study_state = fields[1];
+        continue;
+      }
       result.records.push_back(parse_record_line(body, rows[i].first));
     } catch (const std::runtime_error& e) {
       if (i + 1 != rows.size()) throw;  // mid-file corruption stays fatal
@@ -385,6 +421,17 @@ void EvalJournal::append(const EvaluationRecord& record) {
   obs::ScopedTimer fsync_span("journal.fsync", nullptr, obs::LogLevel::kTrace,
                               record.index);
   write_journal_line(file_.get(), path_, checksummed_record_line(record));
+}
+
+void EvalJournal::finalize(const std::string& state, std::size_t records) {
+  if (!active()) return;
+  if (state.empty()) fail_journal("finalize requires a non-empty state");
+  obs::ScopedTimer fsync_span("journal.fsync", nullptr, obs::LogLevel::kTrace,
+                              records);
+  write_journal_line(file_.get(), path_,
+                     checksummed_line(epilogue_body(state, records)));
+  file_.reset();
+  path_.clear();
 }
 
 }  // namespace hp::core

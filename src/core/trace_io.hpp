@@ -66,6 +66,13 @@ struct JournalLoadResult {
   std::vector<EvaluationRecord> records;
   /// 1 when a torn final line was dropped (crash mid-append), else 0.
   std::size_t dropped_lines = 0;
+  /// The study_state epilogue written on clean finalize ("completed" or
+  /// "aborted"); empty when the run never finalized (crash — the journal
+  /// ends in records or a torn tail) or the journal predates v3 writers.
+  /// Lets resume tooling distinguish "this run finished" from "this run
+  /// died" without replaying anything.
+  std::string study_state;
+  [[nodiscard]] bool complete() const noexcept { return !study_state.empty(); }
 };
 
 /// Append-only evaluation journal. Each append writes one line-framed
@@ -75,12 +82,16 @@ struct JournalLoadResult {
 /// append() is a no-op, which lets the optimizer write journal code
 /// unconditionally.
 ///
-/// Format versions: new journals are written as `hpjournal,v2`, whose
+/// Format versions: new journals are written as `hpjournal,v3`. Since v2,
 /// record lines end in a `#crc32` field over the record body — a torn
 /// *middle* write (a crashed fleet merge, a disk that reordered flushes)
 /// is detected by the checksum and rejected deterministically even when
-/// the truncated text happens to still parse. v1 journals (no checksums)
-/// remain loadable; only their unparseable corruption is detectable.
+/// the truncated text happens to still parse. v3 adds a checksummed
+/// `s,<state>,<count>` study_state epilogue written by finalize() when a
+/// run ends cleanly, so load() can report "completed" versus "torn tail"
+/// without replaying. v1 journals (no checksums) and v2 journals (no
+/// epilogue) remain loadable; only v1's unparseable corruption is
+/// detectable.
 class EvalJournal {
  public:
   EvalJournal() = default;
@@ -109,6 +120,13 @@ class EvalJournal {
   /// Appends one record and fsyncs. No-op on an inactive journal. Throws
   /// std::runtime_error on I/O failure.
   void append(const EvaluationRecord& record);
+
+  /// Writes the study_state epilogue (`s,<state>,<records>`, checksummed),
+  /// fsyncs, and closes the journal — the clean-finalize marker. After
+  /// this the journal is inactive; further appends are no-ops. No-op on an
+  /// inactive journal. Throws std::runtime_error on I/O failure or an
+  /// empty @p state.
+  void finalize(const std::string& state, std::size_t records);
 
   [[nodiscard]] bool active() const noexcept { return file_ != nullptr; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }

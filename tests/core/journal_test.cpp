@@ -211,8 +211,8 @@ TEST(EvalJournal, RewriteReproducesCreatePlusAppends) {
   std::remove(rewritten_path.c_str());
 }
 
-TEST(EvalJournal, WritesV2HeaderAndChecksummedRecordLines) {
-  const std::string path = temp_path("journal_v2_format.hpj");
+TEST(EvalJournal, WritesV3HeaderAndChecksummedRecordLines) {
+  const std::string path = temp_path("journal_v3_format.hpj");
   {
     auto journal = EvalJournal::create(path, header());
     journal.append(sample_records()[0]);
@@ -220,14 +220,137 @@ TEST(EvalJournal, WritesV2HeaderAndChecksummedRecordLines) {
   std::ifstream in(path, std::ios::binary);
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
-  EXPECT_EQ(line, "hpjournal,v2,Rand,42,4");
+  EXPECT_EQ(line, "hpjournal,v3,Rand,42,4");
   ASSERT_TRUE(std::getline(in, line));
-  // Every v2 record line ends in ",#<8-hex crc32 of the body>".
+  // Every v2+ record line ends in ",#<8-hex crc32 of the body>".
   ASSERT_GT(line.size(), 10u);
   EXPECT_EQ(line.substr(line.size() - 10, 2), ",#");
   for (std::size_t i = line.size() - 8; i < line.size(); ++i) {
     EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(line[i]))) << line;
   }
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, FinalizeWritesStudyStateEpilogueAndClosesJournal) {
+  const std::string path = temp_path("journal_finalized.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+    journal.append(sample_records()[1]);
+    journal.finalize("completed", 2);
+    // finalize closes the journal: it goes inactive, appends are no-ops.
+    EXPECT_FALSE(journal.active());
+    journal.append(sample_records()[2]);
+  }
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_TRUE(loaded.complete());
+  EXPECT_EQ(loaded.study_state, "completed");
+  EXPECT_EQ(loaded.dropped_lines, 0u);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  expect_record_eq(loaded.records[0], sample_records()[0]);
+  expect_record_eq(loaded.records[1], sample_records()[1]);
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, UnfinalizedJournalLoadsAsIncomplete) {
+  const std::string path = temp_path("journal_unfinalized.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+    // No finalize: the writer "crashed" — this is the resume case.
+  }
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_FALSE(loaded.complete());
+  EXPECT_TRUE(loaded.study_state.empty());
+  EXPECT_EQ(loaded.records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, TornEpilogueDropsAsTailAndLoadsAsIncomplete) {
+  const std::string path = temp_path("journal_torn_epilogue.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+    journal.finalize("completed", 1);
+  }
+  // Truncate into the middle of the epilogue line, as a crash during the
+  // final write would: the journal must load as a normal unfinished run.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t epilogue_start = contents.find("\ns,") + 1;
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << contents.substr(0, epilogue_start + 5);
+  out.close();
+
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_FALSE(loaded.complete());
+  EXPECT_EQ(loaded.dropped_lines, 1u);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  expect_record_eq(loaded.records[0], sample_records()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, ThrowsOnContentAfterStudyStateEpilogue) {
+  const std::string path = temp_path("journal_after_epilogue.hpj");
+  std::string record_line;
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    const std::size_t record_start = contents.find("\nr,") + 1;
+    record_line = contents.substr(record_start);  // includes trailing \n
+  }
+  {
+    auto journal = EvalJournal::rewrite(path, header(), {sample_records()[0]});
+    journal.finalize("completed", 1);
+  }
+  {
+    // A record appended after the epilogue is tampering, never a torn
+    // tail: the writer closes the file right after finalizing.
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << record_line;
+  }
+  EXPECT_THROW((void)EvalJournal::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, EpilogueRecordCountMismatchLoadsAsIncomplete) {
+  const std::string path = temp_path("journal_epilogue_count.hpj");
+  {
+    auto journal = EvalJournal::create(path, header());
+    journal.append(sample_records()[0]);
+    journal.append(sample_records()[1]);
+    journal.finalize("completed", 2);
+  }
+  // Delete the second record line wholesale. Every surviving line's
+  // checksum is intact, so only the epilogue's record count can expose
+  // the excision — and because the epilogue is the FINAL line, the
+  // mismatch resolves conservatively: drop it as a torn tail and hand
+  // resume an incomplete journal instead of trusting the "completed"
+  // marker of a journal that lost records.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t second = contents.find("\nr,", contents.find("\nr,") + 1);
+  const std::size_t epilogue = contents.find("\ns,");
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(epilogue, std::string::npos);
+  contents.erase(second, epilogue - second);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << contents;
+  }
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_FALSE(loaded.complete());
+  EXPECT_EQ(loaded.dropped_lines, 1u);
+  ASSERT_EQ(loaded.records.size(), 1u);
   std::remove(path.c_str());
 }
 
@@ -245,6 +368,38 @@ TEST(EvalJournal, LoadsLegacyV1JournalsWithoutChecksums) {
   const JournalLoadResult loaded = EvalJournal::load(path);
   EXPECT_EQ(loaded.header.method, "Rand");
   EXPECT_EQ(loaded.header.seed, 42u);
+  EXPECT_EQ(loaded.dropped_lines, 0u);
+  ASSERT_EQ(loaded.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_record_eq(loaded.records[i], records[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvalJournal, LoadsLegacyV2JournalsWithoutEpilogue) {
+  const std::string path = temp_path("journal_v2_legacy.hpj");
+  const std::vector<EvaluationRecord> records = sample_records();
+  {
+    auto journal = EvalJournal::create(path, header());
+    for (const auto& record : records) journal.append(record);
+  }
+  // Record lines are identical between v2 and v3; only the header version
+  // and the (absent) epilogue differ. Rewriting the header makes this an
+  // exact pre-epilogue journal.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t version = contents.find(",v3,");
+  ASSERT_NE(version, std::string::npos);
+  contents.replace(version, 4, ",v2,");
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << contents;
+  }
+  const JournalLoadResult loaded = EvalJournal::load(path);
+  EXPECT_FALSE(loaded.complete());
   EXPECT_EQ(loaded.dropped_lines, 0u);
   ASSERT_EQ(loaded.records.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {

@@ -148,6 +148,44 @@ class RawObjectiveEvaluateTest(unittest.TestCase):
         self.assertEqual(rules(findings), set())
 
 
+class StudyAskTellTest(unittest.TestCase):
+    def test_fires_on_proposer_and_recorder_mutation_outside_study(self):
+        findings = run_checks({
+            "src/core/evaluation_engine.cpp":
+                "void f() { auto c = proposer_.propose(rng);\n"
+                "  auto batch = proposer.propose_batch(base, count);\n"
+                "  recorder_.observe_sample(record, mode);\n"
+                "  recorder_.commit(std::move(record), mode);\n"
+                "  recorder_.begin_run(); }\n",
+            "src/dist/job_scheduler.cpp":
+                "void g() { proposer->observe(record);\n"
+                "  auto t = recorder.take_trace(); }\n",
+        })
+        self.assertEqual(rules(findings), {"study-ask-tell"})
+        self.assertEqual(len(findings), 7)
+
+    def test_study_internals_self_calls_and_tests_are_exempt(self):
+        findings = run_checks({
+            # The sanctioned owner of ask/tell state transitions.
+            "src/core/study.cpp":
+                "void f() { auto c = proposer_.propose(rng);\n"
+                "  recorder_.observe_sample(record, mode);\n"
+                "  proposer_.observe(record);\n"
+                "  recorder_.commit(std::move(record), mode); }\n",
+            # A proposer's own batch helper calls propose() bare — no
+            # member receiver, so subclass internals stay legal.
+            "src/core/bayes_opt.cpp":
+                "auto fill = [this](Rng& rng) { return propose(rng); };\n",
+            # Histogram::observe shares the name; non-proposer receivers
+            # don't match.
+            "src/parallel/pool.cpp": "wait_hist_->observe(elapsed);\n",
+            # Tests drive studies and proposers directly.
+            "tests/core/study_test.py_like.cpp":
+                "auto c = proposer.propose(rng);\n",
+        })
+        self.assertEqual(rules(findings), set())
+
+
 class TraceNameLiteralTest(unittest.TestCase):
     def test_fires_on_runtime_formatted_name(self):
         findings = run_checks({

@@ -520,6 +520,13 @@ int cmd_optimize(const cli::Args& args) {
           std::to_string(journal->header.batch_size) +
           ", which does not match this invocation");
     }
+    if (journal->complete()) {
+      std::fprintf(stderr,
+                   "note: journal %s is finalized (study state \"%s\", "
+                   "%zu records); resuming past its recorded end\n",
+                   options.optimizer.journal_path.c_str(),
+                   journal->study_state.c_str(), journal->records.size());
+    }
     result.method_name = optimizer->name();
     result.hyperpower_mode = options.hyperpower_mode;
     result.run = optimizer->resume(journal->records);

@@ -29,6 +29,16 @@ Rules (see DESIGN.md §10 for rationale and how to add one):
                         retry/journal/recording path (DESIGN.md §12).
                         Hardware cost-model evaluate() calls and tests are
                         exempt.
+  study-ask-tell        In library code (src/), direct mutation of a run's
+                        proposal strategy or books — Proposer::propose /
+                        propose_batch / begin_run / observe and
+                        RunRecorder::begin_run / observe_sample / commit /
+                        take_trace — is reserved for core::Study
+                        (src/core/study.cpp). Engine, dist, and cli layers
+                        must go through ask()/tell(): the ask/tell
+                        confinement is what guarantees a trace stays a
+                        pure function of (seed, batch_size) no matter
+                        which driver executes the trials (DESIGN.md §16).
   trace-name-literal    Span/phase names handed to the tracer (ScopedTimer
                         constructions, tracer().instant(), begin_span())
                         must be stable dotted string literals
@@ -247,6 +257,41 @@ def check_raw_objective_evaluate(path, root, lines, findings):
             "evaluation is retried, journaled, and recorded"))
 
 
+# Member calls that mutate a run's proposal/recording state. propose,
+# propose_batch, begin_run, observe_sample, commit, and take_trace are
+# unambiguous member names in library code; Proposer::observe shares its
+# name with obs::Histogram::observe, so it is matched separately with a
+# proposer-ish receiver. Subclass internals (a proposer calling its own
+# propose() in a lambda) have no member receiver and don't match.
+STUDY_MUTATION_RE = re.compile(
+    r"(?:\.|->)\s*(?:propose_batch|propose|observe_sample|take_trace|"
+    r"begin_run|commit)\s*\(")
+PROPOSER_OBSERVE_RE = re.compile(
+    r"\b\w*[Pp]roposer\w*\s*(?:\.|->)\s*observe\s*\(")
+# The one sanctioned owner of ask/tell state transitions.
+STUDY_MUTATION_ALLOWLIST = (
+    ("src", "core", "study.cpp"),
+)
+
+
+def check_study_ask_tell(path, root, lines, findings):
+    if not in_dir(path, root, "src"):
+        return
+    if any(in_dir(path, root, *parts) for parts in STUDY_MUTATION_ALLOWLIST):
+        return
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if not (STUDY_MUTATION_RE.search(line)
+                or PROPOSER_OBSERVE_RE.search(line)):
+            continue
+        findings.append(Finding(
+            path, lineno, "study-ask-tell",
+            "Proposer/RunRecorder mutation is confined to core::Study "
+            "(src/core/study.cpp); drivers and frontends must go through "
+            "Study::ask/tell so the trace stays a pure function of "
+            "(seed, batch_size) regardless of the executor (DESIGN.md §16)"))
+
+
 # Call sites that open a span or record an instant: the first argument is
 # the span name. `timer/span .emplace` covers deferred construction of an
 # optional<ScopedTimer>.
@@ -427,6 +472,7 @@ CHECKS = (
     check_exception_swallow,
     check_failure_recording,
     check_raw_objective_evaluate,
+    check_study_ask_tell,
     check_trace_name_literal,
     check_raw_process_control,
     check_raw_mutex,
